@@ -1,0 +1,109 @@
+// Command benchtab regenerates the paper's evaluation artifacts: Tables 1-3
+// and Figures 11-14.
+//
+// Usage:
+//
+//	benchtab -all                  # everything
+//	benchtab -table 1              # jBYTEmark dynamic counts
+//	benchtab -table 2              # SPECjvm98 dynamic counts
+//	benchtab -table 3              # compilation time breakdown
+//	benchtab -figure 13            # jBYTEmark performance improvement
+//	benchtab -machine ppc64        # switch the machine model
+//	benchtab -noprofile            # static frequency estimates only
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"signext/internal/bench"
+	"signext/internal/ir"
+	"signext/internal/workloads"
+)
+
+func main() {
+	table := flag.Int("table", 0, "regenerate table 1, 2 or 3")
+	figure := flag.Int("figure", 0, "regenerate figure 11, 12, 13 or 14")
+	all := flag.Bool("all", false, "regenerate every table and figure")
+	machine := flag.String("machine", "ia64", "machine model: ia64 or ppc64")
+	noprofile := flag.Bool("noprofile", false, "disable interpreter branch profiles")
+	flag.Parse()
+
+	mach := ir.IA64
+	if *machine == "ppc64" {
+		mach = ir.PPC64
+	} else if *machine != "ia64" {
+		fmt.Fprintln(os.Stderr, "benchtab: unknown machine", *machine)
+		os.Exit(2)
+	}
+	if !*all && *table == 0 && *figure == 0 {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	opts := bench.Options{Machine: mach, UseProfile: !*noprofile}
+	var jb, spec *bench.SuiteResult
+	needJB := *all || *table == 1 || *table == 3 || *figure == 11 || *figure == 13
+	needSpec := *all || *table == 2 || *table == 3 || *figure == 12 || *figure == 14
+
+	run := func(ws []workloads.Workload, label string) *bench.SuiteResult {
+		fmt.Fprintf(os.Stderr, "benchtab: running %s (%d workloads x %d variants)...\n",
+			label, len(ws), 12)
+		r, err := bench.RunSuite(ws, opts)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchtab:", err)
+			os.Exit(1)
+		}
+		if len(r.Mismatch) > 0 {
+			fmt.Fprintln(os.Stderr, "benchtab: OUTPUT MISMATCH (miscompile):", r.Mismatch)
+			os.Exit(1)
+		}
+		return r
+	}
+	if needJB {
+		jb = run(workloads.JBYTEmark(), "jBYTEmark")
+	}
+	if needSpec {
+		spec = run(workloads.SPECjvm98(), "SPECjvm98")
+	}
+
+	show := func(cond bool, s string) {
+		if cond {
+			fmt.Println(s)
+		}
+	}
+	show(*all || *table == 1,
+		jbOr(jb, func(r *bench.SuiteResult) string {
+			return r.FormatCountTable("Table 1. Dynamic counts of remaining 32-bit sign extensions for jBYTEmark")
+		}))
+	show(*all || *table == 2,
+		jbOr(spec, func(r *bench.SuiteResult) string {
+			return r.FormatCountTable("Table 2. Dynamic counts of remaining 32-bit sign extensions for SPECjvm98")
+		}))
+	show(*all || *figure == 11,
+		jbOr(jb, func(r *bench.SuiteResult) string { return r.FormatPctFigure("Figure 11 (jBYTEmark)") }))
+	show(*all || *figure == 12,
+		jbOr(spec, func(r *bench.SuiteResult) string { return r.FormatPctFigure("Figure 12 (SPECjvm98)") }))
+	show(*all || *figure == 13,
+		jbOr(jb, func(r *bench.SuiteResult) string { return r.FormatPerfFigure("Figure 13 (jBYTEmark)") }))
+	show(*all || *figure == 14,
+		jbOr(spec, func(r *bench.SuiteResult) string { return r.FormatPerfFigure("Figure 14 (SPECjvm98)") }))
+	if *all || *table == 3 {
+		var rs []*bench.SuiteResult
+		if spec != nil {
+			rs = append(rs, spec)
+		}
+		if jb != nil {
+			rs = append(rs, jb)
+		}
+		fmt.Println(bench.FormatTimingTable(rs))
+	}
+}
+
+func jbOr(r *bench.SuiteResult, f func(*bench.SuiteResult) string) string {
+	if r == nil {
+		return ""
+	}
+	return f(r)
+}

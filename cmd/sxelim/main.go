@@ -1,0 +1,165 @@
+// Command sxelim compiles a MiniJava source file under a chosen sign
+// extension elimination variant and reports what happened.
+//
+// Usage:
+//
+//	sxelim prog.mj                      # compile with the full algorithm, run
+//	sxelim -variant baseline prog.mj    # pick a Table 1/2 variant
+//	sxelim -dump prog.mj                # print the optimized IR
+//	sxelim -asm prog.mj                 # print the lowered machine code
+//	sxelim -compare prog.mj             # dynamic counts under all variants
+//	sxelim prog.ir                      # compile textual IR (ir.ParseProgram)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"signext"
+	"signext/internal/interp"
+	"signext/internal/ir"
+)
+
+var variantFlags = map[string]signext.Variant{
+	"baseline":     signext.VariantBaseline,
+	"genuse":       signext.VariantGenUse,
+	"first":        signext.VariantFirst,
+	"basic":        signext.VariantBasicUDDU,
+	"insert":       signext.VariantInsert,
+	"order":        signext.VariantOrder,
+	"insert-order": signext.VariantInsertOrder,
+	"array":        signext.VariantArray,
+	"array-insert": signext.VariantArrayInsert,
+	"array-order":  signext.VariantArrayOrder,
+	"all-pde":      signext.VariantAllPDE,
+	"all":          signext.VariantAll,
+}
+
+func main() {
+	variant := flag.String("variant", "all", "algorithm variant (baseline, genuse, first, basic, insert, order, insert-order, array, array-insert, array-order, all-pde, all)")
+	machine := flag.String("machine", "ia64", "machine model: ia64 or ppc64")
+	dump := flag.Bool("dump", false, "print the optimized IR")
+	asm := flag.Bool("asm", false, "print the lowered machine code")
+	dot := flag.Bool("dot", false, "print the optimized CFG in Graphviz DOT syntax")
+	trace := flag.Int64("trace", 0, "trace the first N executed instructions to stderr")
+	run := flag.Bool("run", true, "execute the compiled program")
+	compare := flag.Bool("compare", false, "report dynamic extension counts under every variant")
+	profile := flag.Bool("profile", true, "use interpreter branch profiles for order determination")
+	flag.Parse()
+
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: sxelim [flags] file.mj")
+		os.Exit(2)
+	}
+	srcBytes, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sxelim:", err)
+		os.Exit(1)
+	}
+	src := string(srcBytes)
+
+	// Textual IR input bypasses the MiniJava frontend.
+	var irProg *ir.Program
+	if strings.HasSuffix(flag.Arg(0), ".ir") {
+		irProg, err = ir.ParseProgram(src)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "sxelim:", err)
+			os.Exit(1)
+		}
+	}
+	compile := func(o signext.Options) (*signext.Result, error) {
+		if irProg != nil {
+			return signext.CompileProgram(irProg, o)
+		}
+		return signext.CompileSource(src, o)
+	}
+
+	mach := signext.IA64
+	if *machine == "ppc64" {
+		mach = signext.PPC64
+	}
+	v, ok := variantFlags[*variant]
+	if !ok {
+		fmt.Fprintln(os.Stderr, "sxelim: unknown variant", *variant)
+		os.Exit(2)
+	}
+
+	if *compare {
+		var base int64
+		for _, vv := range signext.Variants {
+			res, err := compile(signext.Options{
+				Variant: vv, Machine: mach, WithProfile: *profile,
+			})
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "sxelim:", err)
+				os.Exit(1)
+			}
+			rr, err := res.Run()
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "sxelim:", vv, "execution failed:", err)
+				os.Exit(1)
+			}
+			if vv == signext.VariantBaseline {
+				base = rr.DynamicExts
+			}
+			pct := 100.0
+			if base > 0 {
+				pct = 100 * float64(rr.DynamicExts) / float64(base)
+			}
+			fmt.Printf("%-28s dyn ext32 %12d (%6.2f%%)  static %4d  cycles %12d\n",
+				vv, rr.DynamicExts, pct, res.StaticExts(), rr.Cycles)
+		}
+		return
+	}
+
+	res, err := compile(signext.Options{
+		Variant: v, Machine: mach, WithProfile: *profile,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sxelim:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("variant %s, machine %s: %d extensions eliminated, %d inserted, %d remain\n",
+		v, mach, res.Eliminated(), res.Inserted(), res.StaticExts())
+	if *dump {
+		for _, fn := range res.IR().Funcs {
+			fmt.Println(fn.Format())
+		}
+	}
+	if *asm {
+		for _, fn := range res.IR().Funcs {
+			fmt.Println(res.Assembly(fn.Name))
+		}
+	}
+	if *dot {
+		for _, fn := range res.IR().Funcs {
+			fmt.Println(fn.Dot())
+		}
+	}
+	if *run {
+		var rr *signext.RunResult
+		var err error
+		if *trace > 0 {
+			out, terr := interp.Run(res.IR(), "main", interp.Options{
+				Mode:    interp.Mode64,
+				Machine: mach,
+				Trace: func(fname string, blk *ir.Block, ins *ir.Instr) {
+					fmt.Fprintf(os.Stderr, "%s\t%s\t%s\n", fname, blk, ins)
+				},
+				TraceLimit: *trace,
+			})
+			err = terr
+			rr = &signext.RunResult{Output: out.Output, DynamicExts: out.Ext32(), Cycles: out.Cycles, Steps: out.Steps}
+		} else {
+			rr, err = res.Run()
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "sxelim: execution failed:", err)
+			os.Exit(1)
+		}
+		fmt.Print(rr.Output)
+		fmt.Printf("[dynamic 32-bit sign extensions: %d, cycles: %d]\n", rr.DynamicExts, rr.Cycles)
+	}
+}

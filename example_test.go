@@ -1,0 +1,52 @@
+package signext_test
+
+import (
+	"fmt"
+	"log"
+
+	"signext"
+)
+
+// ExampleCompileSource compiles the paper's count-down-loop shape with the
+// full algorithm and reports the dynamic sign extension counts.
+func ExampleCompileSource() {
+	src := `
+	void main() {
+		int[] a = new int[100];
+		for (int i = 0; i < a.length; i++) { a[i] = i; }
+		int t = 0;
+		int i = a.length;
+		do { i = i - 1; t += a[i]; } while (i > 0);
+		print(t);
+	}`
+	res, err := signext.CompileSource(src, signext.Options{
+		Variant: signext.VariantAll,
+		Machine: signext.IA64,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	run, err := res.Run()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("output: %s", run.Output)
+	fmt.Printf("dynamic 32-bit sign extensions: %d\n", run.DynamicExts)
+	// Output:
+	// output: 4950
+	// dynamic 32-bit sign extensions: 1
+}
+
+// ExampleResult_Format shows the optimized IR of a compiled function.
+func ExampleResult_Format() {
+	res, err := signext.CompileSource(`
+	int half(int x) { return x / 2; }
+	void main() { print(half(10)); }`, signext.Options{Variant: signext.VariantAll})
+	if err != nil {
+		log.Fatal(err)
+	}
+	run, _ := res.Run()
+	fmt.Print(run.Output)
+	// Output:
+	// 5
+}

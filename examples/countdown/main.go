@@ -1,0 +1,88 @@
+// Countdown walks through the paper's Figure 7/8 example end to end, built
+// directly with the IR builder (no frontend): it shows the generated
+// extensions after 64-bit conversion, then how insertion + order
+// determination + the array theorems leave exactly one extension, outside
+// the loop (Figure 8(b)).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"signext"
+	"signext/internal/ir"
+)
+
+// build constructs the paper's Figure 7 program:
+//
+//	int t = 0; int i = mem;
+//	do { i = i - 1; j = a[i]; j &= 0x0fffffff; t += j; } while (i > start);
+//	d = (double) t;
+func build() *ir.Program {
+	prog := ir.NewProgram()
+	prog.NGlobals = 1
+
+	b := ir.NewFunc("fig7", ir.Param{Ref: true}, ir.Param{W: ir.W32})
+	f := b.Fn
+	a, start := ir.Reg(0), ir.Reg(1)
+	t, i, j := f.NewReg(), f.NewReg(), f.NewReg()
+	one := b.Const(ir.W32, 1)
+	mask := b.Const(ir.W32, 0x0fffffff)
+	b.ConstTo(ir.W32, t, 0)
+	b.LoadGTo(ir.W32, i, 0) // i = mem (zero-extending load on IA64)
+	loop, exit := f.NewBlock(), f.NewBlock()
+	b.Jmp(loop)
+	b.SetBlock(loop)
+	b.OpTo(ir.OpSub, ir.W32, i, i, one)
+	b.ArrLoadTo(ir.W32, false, j, a, i)
+	b.OpTo(ir.OpAnd, ir.W32, j, j, mask)
+	b.OpTo(ir.OpAdd, ir.W32, t, t, j)
+	b.Br(ir.W32, ir.CondGT, i, start, loop, exit)
+	b.SetBlock(exit)
+	d := b.I2D(t)
+	b.FPrint(d)
+	b.Ret(ir.NoReg)
+	prog.AddFunc(f)
+
+	m := ir.NewFunc("main")
+	n := m.Const(ir.W32, 200)
+	arr := m.NewArr(ir.W32, false, n)
+	k := m.Fn.NewReg()
+	m.ConstTo(ir.W32, k, 0)
+	fill, done := m.Fn.NewBlock(), m.Fn.NewBlock()
+	m.Jmp(fill)
+	m.SetBlock(fill)
+	v := m.Mul(ir.W32, k, m.Const(ir.W32, 2654435761))
+	m.ArrStore(ir.W32, false, arr, k, v)
+	m.OpTo(ir.OpAdd, ir.W32, k, k, m.Const(ir.W32, 1))
+	m.Br(ir.W32, ir.CondLT, k, n, fill, done)
+	m.SetBlock(done)
+	m.StoreG(ir.W32, 0, m.Const(ir.W32, 150)) // mem = 150
+	m.CallV("fig7", arr, m.Const(ir.W32, 1))
+	m.Ret(ir.NoReg)
+	prog.AddFunc(m.Fn)
+	return prog
+}
+
+func main() {
+	for _, v := range []signext.Variant{
+		signext.VariantBaseline, signext.VariantFirst, signext.VariantAll,
+	} {
+		res, err := signext.CompileProgram(build(), signext.Options{
+			Variant: v, Machine: signext.IA64,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		run, err := res.Run()
+		if err != nil {
+			log.Fatal(v, ": ", err)
+		}
+		fmt.Printf("=== %s: %d static extensions, %d executed ===\n",
+			v, res.StaticExts(), run.DynamicExts)
+		fmt.Println(res.Format("fig7"))
+	}
+	fmt.Println("Note the full algorithm's result matches the paper's Figure 8(b):")
+	fmt.Println("the loop body holds no extension; the single survivor sits before")
+	fmt.Println("the int-to-double conversion after the loop.")
+}

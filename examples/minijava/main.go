@@ -1,0 +1,119 @@
+// Minijava compiles a complete program through the whole pipeline — the
+// MiniJava frontend, the interpreter profiling tier, and every algorithm
+// variant of the paper's Tables 1 and 2 — on both machine models, printing a
+// per-variant comparison like cmd/sxelim -compare.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"signext"
+)
+
+const src = `
+// A little checksum/compression mix: byte arrays (8-bit extensions),
+// shifts and masks, a hash table, and int->double at the end.
+static int seed = 1234567;
+
+int rnd() {
+	seed = seed * 1103515245 + 12345;
+	return (seed >>> 7) & 0xffffff;
+}
+
+int hashStep(int h, int v) {
+	h = (h << 5) - h + v;   // h*31 + v
+	return h;
+}
+
+void main() {
+	int n = 2048;
+	byte[] data = new byte[n];
+	for (int i = 0; i < n; i++) { data[i] = (byte) rnd(); }
+
+	int[] hist = new int[256];
+	for (int i = 0; i < n; i++) { hist[data[i] & 0xff]++; }
+
+	int h = 17;
+	for (int i = n - 1; i >= 0; i--) { h = hashStep(h, data[i]); }
+
+	long total = 0;
+	int max = 0;
+	for (int b = 0; b < 256; b++) {
+		total += hist[b];
+		if (hist[b] > max) { max = hist[b]; }
+	}
+	print(h);
+	print(total);
+	print(max);
+	double entropyish = 0.0;
+	for (int b = 0; b < 256; b++) {
+		if (hist[b] > 0) {
+			double p = hist[b];
+			entropyish = entropyish - p * log(p / n);
+		}
+	}
+	print(entropyish / n);
+}
+`
+
+func main() {
+	for _, mach := range []signext.Machine{signext.IA64, signext.PPC64} {
+		fmt.Printf("=== machine model: %v ===\n", mach)
+		var ref string
+		var base int64
+		for _, v := range signext.Variants {
+			res, err := signext.CompileSource(src, signext.Options{
+				Variant: v, Machine: mach, WithProfile: true,
+			})
+			if err != nil {
+				log.Fatal(err)
+			}
+			run, err := res.Run()
+			if err != nil {
+				log.Fatalf("%v/%v: %v", mach, v, err)
+			}
+			if ref == "" {
+				ref = run.Output
+			} else if run.Output != ref {
+				log.Fatalf("%v/%v: output diverged", mach, v)
+			}
+			if v == signext.VariantBaseline {
+				base = run.DynamicExts
+			}
+			pct := 100.0
+			if base > 0 {
+				pct = 100 * float64(run.DynamicExts) / float64(base)
+			}
+			fmt.Printf("  %-28v dyn ext32 %9d (%6.2f%%)  all widths %9d  cycles %10d\n",
+				v, run.DynamicExts, pct, run.AllExts, run.Cycles)
+		}
+		fmt.Println("  program output:")
+		fmt.Print(indent(ref))
+	}
+}
+
+func indent(s string) string {
+	out := ""
+	for _, line := range splitLines(s) {
+		out += "    " + line + "\n"
+	}
+	return out
+}
+
+func splitLines(s string) []string {
+	var lines []string
+	cur := ""
+	for _, r := range s {
+		if r == '\n' {
+			lines = append(lines, cur)
+			cur = ""
+		} else {
+			cur += string(r)
+		}
+	}
+	if cur != "" {
+		lines = append(lines, cur)
+	}
+	return lines
+}

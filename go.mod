@@ -1,0 +1,3 @@
+module signext
+
+go 1.22

@@ -1,0 +1,92 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+
+	"signext/internal/ir"
+	"signext/internal/jit"
+	"signext/internal/workloads"
+)
+
+// miniSuite is a fast two-workload suite for harness tests.
+func miniSuite() []workloads.Workload {
+	return []workloads.Workload{
+		{Name: "tiny-up", Suite: "test", Source: `
+			void main() {
+				int[] a = new int[64];
+				int s = 0;
+				for (int i = 0; i < a.length; i++) { a[i] = i * 3; }
+				for (int i = 0; i < a.length; i++) { s += a[i]; }
+				print(s);
+			}`},
+		{Name: "tiny-down", Suite: "test", Source: `
+			void main() {
+				int[] a = new int[64];
+				for (int i = 0; i < a.length; i++) { a[i] = i; }
+				int t = 0;
+				int i = a.length;
+				do { i = i - 1; t += a[i]; } while (i > 0);
+				double d = t;
+				print(d);
+			}`},
+	}
+}
+
+func TestRunSuite(t *testing.T) {
+	res, err := RunSuite(miniSuite(), Options{Machine: ir.IA64, UseProfile: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Mismatch) > 0 {
+		t.Fatalf("miscompiles: %v", res.Mismatch)
+	}
+	if len(res.Names) != 2 {
+		t.Fatalf("names: %v", res.Names)
+	}
+	for _, v := range jit.Variants {
+		for wi := range res.Names {
+			if res.Ext[v][wi] < 0 || res.Cycles[v][wi] <= 0 {
+				t.Fatalf("bad measurement for %v/%s", v, res.Names[wi])
+			}
+		}
+	}
+	if res.AvgPct(jit.Baseline) != 100 {
+		t.Fatalf("baseline average must be 100%%: %g", res.AvgPct(jit.Baseline))
+	}
+	if res.AvgPct(jit.All) >= res.AvgPct(jit.FirstAlgorithm) {
+		t.Fatalf("the new algorithm must beat the first algorithm: %g vs %g",
+			res.AvgPct(jit.All), res.AvgPct(jit.FirstAlgorithm))
+	}
+	if res.Improvement(jit.All, 0) <= 0 {
+		t.Fatalf("no cycle improvement measured: %g", res.Improvement(jit.All, 0))
+	}
+}
+
+func TestFormatting(t *testing.T) {
+	res, err := RunSuite(miniSuite(), Options{
+		Machine:  ir.IA64,
+		Variants: []jit.Variant{jit.Baseline, jit.FirstAlgorithm, jit.All},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl := res.FormatCountTable("Table T")
+	for _, want := range []string{"Table T", "tiny-up", "tiny-down", "baseline", "new algorithm (all)", "%"} {
+		if !strings.Contains(tbl, want) {
+			t.Errorf("count table missing %q:\n%s", want, tbl)
+		}
+	}
+	fig := res.FormatPctFigure("Figure F")
+	if !strings.Contains(fig, "#") || !strings.Contains(fig, "tiny-up") {
+		t.Errorf("pct figure malformed:\n%s", fig)
+	}
+	perf := res.FormatPerfFigure("Figure P")
+	if !strings.Contains(perf, "%") {
+		t.Errorf("perf figure malformed:\n%s", perf)
+	}
+	tm := FormatTimingTable([]*SuiteResult{res})
+	if !strings.Contains(tm, "average") {
+		t.Errorf("timing table malformed:\n%s", tm)
+	}
+}

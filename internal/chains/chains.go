@@ -1,0 +1,177 @@
+// Package chains builds and maintains UD/DU chains over the IR. The paper's
+// elimination phase (section 2.3) is driven entirely by these chains:
+// AnalyzeUSE walks DU chains forward, AnalyzeDEF and AnalyzeARRAY walk UD
+// chains backward. Because every compiler-generated sign extension has the
+// same-register form "v = ext.W v", removing one is a local chain-patching
+// operation rather than a full recomputation.
+package chains
+
+import (
+	"signext/internal/cfg"
+	"signext/internal/dataflow"
+	"signext/internal/ir"
+)
+
+// UseSite identifies one operand of one instruction.
+type UseSite struct {
+	Instr *ir.Instr
+	OpIdx int // index as in ir.Instr.UseAt
+}
+
+type useKey struct {
+	ins *ir.Instr
+	op  int
+}
+
+// Chains is the UD/DU chain structure for a single function.
+type Chains struct {
+	Fn *ir.Func
+
+	ud      map[useKey][]dataflow.DefSite
+	du      map[*ir.Instr][]UseSite
+	duParam [][]UseSite
+}
+
+// Build computes fresh chains for fn.
+func Build(fn *ir.Func, info *cfg.Info) *Chains {
+	r := dataflow.ComputeReaching(fn, info)
+	c := &Chains{
+		Fn:      fn,
+		ud:      map[useKey][]dataflow.DefSite{},
+		du:      map[*ir.Instr][]UseSite{},
+		duParam: make([][]UseSite, fn.NParams()),
+	}
+	for _, b := range fn.Blocks {
+		in, ok := r.In[b]
+		if !ok {
+			continue
+		}
+		cur := in.Clone()
+		for _, ins := range b.Instrs {
+			ins.ForEachUse(func(k int, reg ir.Reg) {
+				var defs []dataflow.DefSite
+				for _, dn := range r.ByReg[reg] {
+					if cur.Has(dn) {
+						site := r.Defs[dn]
+						defs = append(defs, site)
+						use := UseSite{ins, k}
+						if site.IsParam() {
+							c.duParam[site.Param] = append(c.duParam[site.Param], use)
+						} else {
+							c.du[site.Instr] = append(c.du[site.Instr], use)
+						}
+					}
+				}
+				c.ud[useKey{ins, k}] = defs
+			})
+			if ins.HasDst() {
+				for _, other := range r.ByReg[ins.Dst] {
+					cur.Clear(other)
+				}
+				cur.Set(r.DefNum[ins])
+			}
+		}
+	}
+	return c
+}
+
+// UD returns the definitions reaching operand op of ins.
+func (c *Chains) UD(ins *ir.Instr, op int) []dataflow.DefSite {
+	return c.ud[useKey{ins, op}]
+}
+
+// DU returns the uses reached by the definition made by ins.
+func (c *Chains) DU(ins *ir.Instr) []UseSite { return c.du[ins] }
+
+// DUOfParam returns the uses reached by parameter p's entry definition.
+func (c *Chains) DUOfParam(p int) []UseSite { return c.duParam[p] }
+
+func containsDef(ds []dataflow.DefSite, d dataflow.DefSite) bool {
+	for _, x := range ds {
+		if x == d {
+			return true
+		}
+	}
+	return false
+}
+
+func containsUse(us []UseSite, u UseSite) bool {
+	for _, x := range us {
+		if x == u {
+			return true
+		}
+	}
+	return false
+}
+
+func removeDef(ds []dataflow.DefSite, d dataflow.DefSite) []dataflow.DefSite {
+	out := ds[:0]
+	for _, x := range ds {
+		if x != d {
+			out = append(out, x)
+		}
+	}
+	return out
+}
+
+func removeUse(us []UseSite, u UseSite) []UseSite {
+	out := us[:0]
+	for _, x := range us {
+		if x != u {
+			out = append(out, x)
+		}
+	}
+	return out
+}
+
+// RemoveSameRegExt deletes a same-register extension or dummy
+// ("v = ext.W v" / "v = ext.dummy.W v") from its block and patches the chains
+// so every use formerly fed by e is fed by the definitions that fed e.
+func (c *Chains) RemoveSameRegExt(e *ir.Instr) {
+	if (e.Op != ir.OpExt && e.Op != ir.OpExtDummy) || e.Dst != e.Srcs[0] {
+		panic("chains: RemoveSameRegExt on non same-register extension")
+	}
+	eDef := dataflow.DefSite{Instr: e, Param: -1, Reg: e.Dst}
+	eUse := UseSite{e, 0}
+
+	feeding := append([]dataflow.DefSite(nil), c.ud[useKey{e, 0}]...)
+	feeding = removeDef(feeding, eDef) // drop a self-loop, if any
+	downstream := append([]UseSite(nil), c.du[e]...)
+	downstream = removeUse(downstream, eUse)
+
+	// Re-point each downstream use at the feeding definitions.
+	for _, u := range downstream {
+		key := useKey{u.Instr, u.OpIdx}
+		ds := removeDef(c.ud[key], eDef)
+		for _, d := range feeding {
+			if !containsDef(ds, d) {
+				ds = append(ds, d)
+			}
+		}
+		c.ud[key] = ds
+	}
+	// Extend each feeding definition's DU set with the downstream uses and
+	// drop its edge to e itself.
+	for _, d := range feeding {
+		var us []UseSite
+		if d.IsParam() {
+			us = c.duParam[d.Param]
+		} else {
+			us = c.du[d.Instr]
+		}
+		us = removeUse(us, eUse)
+		for _, u := range downstream {
+			if !containsUse(us, u) {
+				us = append(us, u)
+			}
+		}
+		if d.IsParam() {
+			c.duParam[d.Param] = us
+		} else {
+			c.du[d.Instr] = us
+		}
+	}
+	delete(c.du, e)
+	delete(c.ud, useKey{e, 0})
+	e.Blk.Remove(e)
+}

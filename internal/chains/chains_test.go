@@ -1,0 +1,206 @@
+package chains
+
+import (
+	"sort"
+	"testing"
+
+	"signext/internal/cfg"
+	"signext/internal/dataflow"
+	"signext/internal/ir"
+)
+
+// buildLoop constructs the canonical shape chains must get right:
+//
+//	b0: i = 0;           jmp b1
+//	b1: i = i + p0
+//	    i = ext.32 i     <- candidate
+//	    print? no: br i < p0 -> b1, b2
+//	b2: i2d i; ret
+func buildLoop() (*ir.Func, *ir.Instr, *ir.Instr, *ir.Instr) {
+	b := ir.NewFunc("c", ir.Param{W: ir.W32})
+	i := b.Fn.NewReg()
+	init := b.ConstTo(ir.W32, i, 0)
+	loop, exit := b.NewBlock(), b.NewBlock()
+	b.Jmp(loop)
+	b.SetBlock(loop)
+	add := b.OpTo(ir.OpAdd, ir.W32, i, i, ir.Reg(0))
+	ext := b.Ext(ir.W32, i)
+	b.Br(ir.W32, ir.CondLT, i, ir.Reg(0), loop, exit)
+	b.SetBlock(exit)
+	d := b.I2D(i)
+	b.FPrint(d)
+	b.Ret(ir.NoReg)
+	return b.Fn, init, add, ext
+}
+
+func TestUDChains(t *testing.T) {
+	fn, init, add, ext := buildLoop()
+	info := cfg.Compute(fn)
+	c := Build(fn, info)
+
+	// The add's i operand sees the init and (around the back edge) the ext.
+	defs := c.UD(add, 0)
+	if len(defs) != 2 {
+		t.Fatalf("defs of i at the add: %v", defs)
+	}
+	want := map[*ir.Instr]bool{init: true, ext: true}
+	for _, d := range defs {
+		if d.IsParam() || !want[d.Instr] {
+			t.Fatalf("unexpected def %v", d)
+		}
+	}
+	// The ext's source is defined only by the add.
+	defs = c.UD(ext, 0)
+	if len(defs) != 1 || defs[0].Instr != add {
+		t.Fatalf("defs at ext: %v", defs)
+	}
+	// The add's second operand is the parameter.
+	defs = c.UD(add, 1)
+	if len(defs) != 1 || !defs[0].IsParam() {
+		t.Fatalf("param def: %v", defs)
+	}
+}
+
+func TestDUChains(t *testing.T) {
+	fn, init, add, ext := buildLoop()
+	info := cfg.Compute(fn)
+	c := Build(fn, info)
+	_ = fn
+
+	// init reaches only the add (the ext kills it within the loop).
+	uses := c.DU(init)
+	if len(uses) != 1 || uses[0].Instr != add || uses[0].OpIdx != 0 {
+		t.Fatalf("DU(init): %v", uses)
+	}
+	// The ext's value is used by the branch, the i2d and the add (back
+	// edge).
+	uses = c.DU(ext)
+	ops := map[ir.Op]bool{}
+	for _, u := range uses {
+		ops[u.Instr.Op] = true
+	}
+	if !ops[ir.OpBr] || !ops[ir.OpI2D] || !ops[ir.OpAdd] {
+		t.Fatalf("DU(ext) incomplete: %v", uses)
+	}
+}
+
+func TestRemoveSameRegExtPatches(t *testing.T) {
+	fn, _, add, ext := buildLoop()
+	info := cfg.Compute(fn)
+	c := Build(fn, info)
+	c.RemoveSameRegExt(ext)
+
+	if ext.Blk != nil {
+		t.Fatal("ext not removed from its block")
+	}
+	// After patching, the chains must equal a fresh rebuild.
+	fresh := Build(fn, cfg.Compute(fn))
+	compareChains(t, fn, c, fresh)
+
+	// The add's downstream uses now come straight from the add.
+	uses := c.DU(add)
+	ops := map[ir.Op]int{}
+	for _, u := range uses {
+		ops[u.Instr.Op]++
+	}
+	if ops[ir.OpBr] != 1 || ops[ir.OpI2D] != 1 || ops[ir.OpAdd] != 1 {
+		t.Fatalf("DU(add) after patch: %v", uses)
+	}
+}
+
+// compareChains asserts c matches fresh on every use site and def site.
+func compareChains(t *testing.T, fn *ir.Func, c, fresh *Chains) {
+	t.Helper()
+	fn.ForEachInstr(func(_ *ir.Block, ins *ir.Instr) {
+		for op := 0; op < ins.NumUses(); op++ {
+			a := normalizeDefs(c.UD(ins, op))
+			b := normalizeDefs(fresh.UD(ins, op))
+			if !sameStrings(a, b) {
+				t.Errorf("UD(%v, %d): patched %v, fresh %v", ins, op, a, b)
+			}
+		}
+		if ins.HasDst() {
+			a := normalizeUses(c.DU(ins))
+			b := normalizeUses(fresh.DU(ins))
+			if !sameStrings(a, b) {
+				t.Errorf("DU(%v): patched %v, fresh %v", ins, a, b)
+			}
+		}
+	})
+	for p := 0; p < fn.NParams(); p++ {
+		a := normalizeUses(c.DUOfParam(p))
+		b := normalizeUses(fresh.DUOfParam(p))
+		if !sameStrings(a, b) {
+			t.Errorf("DUOfParam(%d): patched %v, fresh %v", p, a, b)
+		}
+	}
+}
+
+func normalizeDefs(ds []dataflow.DefSite) []string {
+	out := make([]string, 0, len(ds))
+	for _, d := range ds {
+		if d.IsParam() {
+			out = append(out, "param:"+d.Reg.String())
+		} else {
+			out = append(out, d.Instr.String())
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+func normalizeUses(us []UseSite) []string {
+	out := make([]string, 0, len(us))
+	for _, u := range us {
+		out = append(out, u.Instr.String()+"#"+string(rune('0'+u.OpIdx)))
+	}
+	sort.Strings(out)
+	return out
+}
+
+func sameStrings(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k := range a {
+		if a[k] != b[k] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestRemovalSequenceMatchesRebuild removes every same-register extension of
+// a richer function one at a time, comparing the patched chains against a
+// fresh rebuild after each removal — the invariant the elimination phase
+// relies on.
+func TestRemovalSequenceMatchesRebuild(t *testing.T) {
+	b := ir.NewFunc("seq", ir.Param{W: ir.W32}, ir.Param{Ref: true})
+	i := b.Fn.NewReg()
+	s := b.Fn.NewReg()
+	b.ConstTo(ir.W32, i, 0)
+	b.ConstTo(ir.W32, s, 0)
+	loop, exit := b.NewBlock(), b.NewBlock()
+	b.Jmp(loop)
+	b.SetBlock(loop)
+	one := b.Const(ir.W32, 1)
+	b.OpTo(ir.OpAdd, ir.W32, i, i, one)
+	e1 := b.Ext(ir.W32, i)
+	v := b.ArrLoad(ir.W32, false, ir.Reg(1), i)
+	e2 := b.Ext(ir.W32, v)
+	b.OpTo(ir.OpAdd, ir.W32, s, s, v)
+	e3 := b.Ext(ir.W32, s)
+	b.Br(ir.W32, ir.CondLT, i, ir.Reg(0), loop, exit)
+	b.SetBlock(exit)
+	b.Print(ir.W32, s)
+	b.Ret(ir.NoReg)
+
+	fn := b.Fn
+	info := cfg.Compute(fn)
+	c := Build(fn, info)
+	for _, ext := range []*ir.Instr{e2, e1, e3} {
+		c.RemoveSameRegExt(ext)
+		fresh := Build(fn, cfg.Compute(fn))
+		compareChains(t, fn, c, fresh)
+	}
+}

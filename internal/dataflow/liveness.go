@@ -1,0 +1,80 @@
+package dataflow
+
+import (
+	"signext/internal/cfg"
+	"signext/internal/ir"
+)
+
+// Liveness holds per-block live-register sets.
+type Liveness struct {
+	Fn      *ir.Func
+	In, Out map[*ir.Block]BitSet // live registers at block entry/exit
+}
+
+// ComputeLiveness solves backward liveness over the registers of fn.
+func ComputeLiveness(fn *ir.Func, info *cfg.Info) *Liveness {
+	lv := &Liveness{Fn: fn, In: map[*ir.Block]BitSet{}, Out: map[*ir.Block]BitSet{}}
+	n := fn.NReg
+	use := map[*ir.Block]BitSet{}
+	def := map[*ir.Block]BitSet{}
+	for _, b := range fn.Blocks {
+		u := NewBitSet(n)
+		d := NewBitSet(n)
+		for _, ins := range b.Instrs {
+			ins.ForEachUse(func(_ int, r ir.Reg) {
+				if !d.Has(int(r)) {
+					u.Set(int(r))
+				}
+			})
+			if ins.HasDst() {
+				d.Set(int(ins.Dst))
+			}
+		}
+		use[b], def[b] = u, d
+		lv.In[b] = NewBitSet(n)
+		lv.Out[b] = NewBitSet(n)
+	}
+	order := info.PostOrder()
+	changed := true
+	tmp := NewBitSet(n)
+	for changed {
+		changed = false
+		for _, b := range order {
+			out := lv.Out[b]
+			out.Reset()
+			for _, s := range b.Succs {
+				out.UnionWith(lv.In[s])
+			}
+			tmp.CopyFrom(out)
+			tmp.AndNotWith(def[b])
+			tmp.UnionWith(use[b])
+			if !tmp.Equal(lv.In[b]) {
+				lv.In[b].CopyFrom(tmp)
+				changed = true
+			}
+		}
+	}
+	return lv
+}
+
+// LiveAfter reports whether reg is live immediately after ins.
+func (lv *Liveness) LiveAfter(ins *ir.Instr, reg ir.Reg) bool {
+	b := ins.Blk
+	idx := b.IndexOf(ins)
+	for k := idx + 1; k < len(b.Instrs); k++ {
+		x := b.Instrs[k]
+		found := false
+		x.ForEachUse(func(_ int, r ir.Reg) {
+			if r == reg {
+				found = true
+			}
+		})
+		if found {
+			return true
+		}
+		if x.HasDst() && x.Dst == reg {
+			return false
+		}
+	}
+	return lv.Out[b].Has(int(reg))
+}

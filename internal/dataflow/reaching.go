@@ -1,0 +1,131 @@
+package dataflow
+
+import (
+	"signext/internal/cfg"
+	"signext/internal/ir"
+)
+
+// DefSite identifies one definition: an instruction that writes a register,
+// or a function parameter (Instr == nil, Param >= 0).
+type DefSite struct {
+	Instr *ir.Instr
+	Param int // parameter index when Instr == nil
+	Reg   ir.Reg
+}
+
+// IsParam reports whether the definition is an incoming parameter.
+func (d DefSite) IsParam() bool { return d.Instr == nil }
+
+// Reaching holds the reaching-definitions solution for a function.
+type Reaching struct {
+	Fn      *ir.Func
+	Defs    []DefSite            // def number -> site
+	DefNum  map[*ir.Instr]int    // defining instruction -> def number
+	ByReg   [][]int              // register -> def numbers writing it
+	In, Out map[*ir.Block]BitSet // block boundary sets
+}
+
+// ComputeReaching solves reaching definitions over fn. Parameters act as
+// definitions at function entry.
+func ComputeReaching(fn *ir.Func, info *cfg.Info) *Reaching {
+	r := &Reaching{
+		Fn:     fn,
+		DefNum: map[*ir.Instr]int{},
+		ByReg:  make([][]int, fn.NReg),
+		In:     map[*ir.Block]BitSet{},
+		Out:    map[*ir.Block]BitSet{},
+	}
+	for p := range fn.Params {
+		n := len(r.Defs)
+		r.Defs = append(r.Defs, DefSite{Param: p, Reg: ir.Reg(p)})
+		r.ByReg[p] = append(r.ByReg[p], n)
+	}
+	fn.ForEachInstr(func(_ *ir.Block, ins *ir.Instr) {
+		if !ins.HasDst() {
+			return
+		}
+		n := len(r.Defs)
+		r.Defs = append(r.Defs, DefSite{Instr: ins, Param: -1, Reg: ins.Dst})
+		r.DefNum[ins] = n
+		r.ByReg[ins.Dst] = append(r.ByReg[ins.Dst], n)
+	})
+
+	nd := len(r.Defs)
+	gen := map[*ir.Block]BitSet{}
+	kill := map[*ir.Block]BitSet{}
+	for _, b := range fn.Blocks {
+		g := NewBitSet(nd)
+		k := NewBitSet(nd)
+		for _, ins := range b.Instrs {
+			if !ins.HasDst() {
+				continue
+			}
+			dn := r.DefNum[ins]
+			for _, other := range r.ByReg[ins.Dst] {
+				g.Clear(other)
+				k.Set(other)
+			}
+			g.Set(dn)
+			k.Clear(dn)
+		}
+		gen[b] = g
+		kill[b] = k
+		r.In[b] = NewBitSet(nd)
+		r.Out[b] = NewBitSet(nd)
+	}
+	// Entry IN: the parameters.
+	entryIn := NewBitSet(nd)
+	for p := range fn.Params {
+		entryIn.Set(p)
+	}
+	r.In[fn.Entry()].CopyFrom(entryIn)
+
+	order := info.RPO
+	changed := true
+	tmp := NewBitSet(nd)
+	for changed {
+		changed = false
+		for _, b := range order {
+			in := r.In[b]
+			if b != fn.Entry() {
+				in.Reset()
+				for _, p := range b.Preds {
+					in.UnionWith(r.Out[p])
+				}
+			}
+			tmp.CopyFrom(in)
+			tmp.AndNotWith(kill[b])
+			tmp.UnionWith(gen[b])
+			if !tmp.Equal(r.Out[b]) {
+				r.Out[b].CopyFrom(tmp)
+				changed = true
+			}
+		}
+	}
+	return r
+}
+
+// DefsAt returns the definition numbers of reg live immediately before ins
+// within its block (walking the block from its IN set).
+func (r *Reaching) DefsAt(ins *ir.Instr, reg ir.Reg) []int {
+	b := ins.Blk
+	cur := r.In[b].Clone()
+	for _, x := range b.Instrs {
+		if x == ins {
+			break
+		}
+		if x.HasDst() {
+			for _, other := range r.ByReg[x.Dst] {
+				cur.Clear(other)
+			}
+			cur.Set(r.DefNum[x])
+		}
+	}
+	var out []int
+	for _, dn := range r.ByReg[reg] {
+		if cur.Has(dn) {
+			out = append(out, dn)
+		}
+	}
+	return out
+}

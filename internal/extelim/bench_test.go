@@ -1,0 +1,78 @@
+package extelim
+
+import (
+	"testing"
+
+	"signext/internal/ir"
+	"signext/internal/minijava"
+	"signext/internal/opt"
+)
+
+// benchFn builds a representative function: nested loops over a flattened
+// matrix with a call-free body — the shape the elimination phase spends its
+// time on.
+func benchFn(b *testing.B) *ir.Func {
+	b.Helper()
+	cu, err := minijava.Compile(`
+		void main() {
+			int n = 48;
+			int[] m = new int[n * n];
+			for (int i = 0; i < n; i++) {
+				for (int j = 0; j < n; j++) {
+					m[i * n + j] = (i << 8) ^ j;
+				}
+			}
+			int s = 0;
+			for (int i = n - 1; i >= 0; i--) {
+				for (int j = n - 1; j >= 0; j--) {
+					s += m[i * n + j] & 0xffff;
+				}
+			}
+			print(s);
+		}`)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return cu.Prog.Func("main")
+}
+
+// BenchmarkConvert64 measures the generation pass.
+func BenchmarkConvert64(b *testing.B) {
+	src := benchFn(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		fn := src.Clone()
+		b.StartTimer()
+		Convert64(fn, ir.IA64)
+	}
+}
+
+// BenchmarkEliminateFull measures the complete sign extension phase
+// (insertion + ordering + UD/DU elimination with the array theorems) on one
+// method — the per-method cost behind Table 3.
+func BenchmarkEliminateFull(b *testing.B) {
+	src := benchFn(b)
+	Convert64(src, ir.IA64)
+	opt.Run(src)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		fn := src.Clone()
+		b.StartTimer()
+		Eliminate(fn, Config{Machine: ir.IA64, Insert: true, Order: true, Array: true})
+	}
+}
+
+// BenchmarkFirstAlgorithm measures the backward-dataflow baseline.
+func BenchmarkFirstAlgorithm(b *testing.B) {
+	src := benchFn(b)
+	Convert64(src, ir.IA64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		fn := src.Clone()
+		b.StartTimer()
+		FirstAlgorithm(fn)
+	}
+}

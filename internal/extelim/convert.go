@@ -1,0 +1,200 @@
+// Package extelim implements the paper's sign extension optimization: the
+// 64-bit conversion step that generates extensions (Figure 5 step 1, Figure
+// 6), the insertion phase (section 2.1), order determination (section 2.2),
+// the UD/DU-chain elimination with the array-subscript theorems (sections 2.3
+// and 3), and the reference algorithms measured against it ("gen use" and the
+// backward-dataflow "first algorithm").
+package extelim
+
+import (
+	"signext/internal/cfg"
+	"signext/internal/chains"
+	"signext/internal/ir"
+)
+
+// Convert64 translates a function from its 32-bit-architecture form to the
+// 64-bit form by generating a sign extension immediately *after* every
+// instruction with a narrow integer destination, unless that destination is
+// guaranteed to be sign-extended (Figure 6(b), the strategy the paper
+// chooses because it maximizes elimination opportunities).
+//
+// Conversion establishes the invariant that every integer register holds a
+// properly sign-extended value at every program point, which makes it
+// trivially correct and also means pass-through definitions (copies, bitwise
+// ops) need no extension of their own. It returns the number of extensions
+// generated.
+func Convert64(fn *ir.Func, mach ir.Machine) int {
+	kinds := ir.Kinds(fn)
+	n := 0
+	for _, b := range fn.Blocks {
+		for k := 0; k < len(b.Instrs); k++ {
+			ins := b.Instrs[k]
+			if w, need := needsGenAfterDef(ins, kinds, mach); need {
+				ext := newSameRegExt(fn, w, ins.Dst)
+				b.InsertAt(k+1, ext)
+				k++
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// needsGenAfterDef decides whether ins's destination requires a trailing
+// extension under the all-registers-extended invariant, and of which width.
+func needsGenAfterDef(ins *ir.Instr, kinds []ir.Kind, mach ir.Machine) (ir.Width, bool) {
+	if !ins.HasDst() || ins.IsTerminator() {
+		return 0, false
+	}
+	if kinds[ins.Dst] != ir.KInt32 && kinds[ins.Dst] != ir.KInt64 {
+		return 0, false
+	}
+	if ins.W == ir.W64 {
+		return 0, false
+	}
+	d := ir.DefOf(ins, mach)
+	switch d.Class {
+	case ir.DefExtended:
+		if d.Bits <= 32 {
+			return 0, false
+		}
+	case ir.DefThrough:
+		// Not *locally* guaranteed: copies and bitwise ops are extended only
+		// if their inputs are, which generation-time code cannot see. The
+		// paper generates here too — Figure 3 has extensions (5) and (7)
+		// after the array load and the AND — and relies on elimination to
+		// remove them.
+	case ir.DefFloat, ir.DefRefKind:
+		return 0, false
+	}
+	// Dirty narrow definition: extend from the operation width. Narrow loads
+	// extend from the element width (ld1+sxt1 style); arithmetic from 32.
+	w := ins.W
+	if w > ir.W32 {
+		w = ir.W32
+	}
+	return w, true
+}
+
+// ConvertGenUse is the reference conversion strategy of Figure 6(c): it
+// generates a sign extension immediately *before* every instruction that
+// requires one, unless the source operand is locally guaranteed to be
+// sign-extended. The paper measures this (with no elimination afterwards) as
+// the "gen use" row of Tables 1 and 2.
+//
+// The extension width is the operand's natural width: a byte element feeding
+// a 32-bit operation gets sxt1, a 32-bit value feeding a widening copy or a
+// full-register consumer gets sxt4.
+func ConvertGenUse(fn *ir.Func, mach ir.Machine) int {
+	kinds := ir.Kinds(fn)
+	info := cfg.Compute(fn)
+	ch := chains.Build(fn, info)
+	n := 0
+	for _, b := range fn.Blocks {
+		for k := 0; k < len(b.Instrs); k++ {
+			ins := b.Instrs[k]
+			done := map[ir.Reg]bool{}
+			for op := 0; op < ins.NumUses(); op++ {
+				r := ins.UseAt(op)
+				if done[r] || kinds[r] != ir.KInt32 {
+					continue
+				}
+				d := genUseDemand(ins, op)
+				if d == 0 {
+					continue
+				}
+				extW, need := genUseSourceWidth(ch, ins, op, mach)
+				if !need || d <= extW {
+					continue
+				}
+				done[r] = true
+				ext := newSameRegExt(fn, ir.Width(extW), r)
+				b.InsertAt(k, ext)
+				k++
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// genUseDemand returns how many low bits of the operand the instruction
+// needs to be valid (0 for non-integer operands).
+func genUseDemand(ins *ir.Instr, op int) uint8 {
+	u := ir.UseOf(ins, op)
+	switch u.Class {
+	case ir.UseAll, ir.UseIndex:
+		return 64
+	case ir.UseLow:
+		return u.Bits
+	case ir.UseThrough:
+		// The operation consumes u.Bits meaningful bits (64 for copies).
+		if u.Bits > 64 {
+			return 64
+		}
+		return u.Bits
+	}
+	return 0
+}
+
+// genUseSourceWidth is the cheap code-generation-time check: if every
+// definition reaching the operand is extension-producing, no extension is
+// needed (need=false). Otherwise it returns the width the register is valid
+// to (the natural width of the dirty producers), from which an extension
+// must widen.
+func genUseSourceWidth(ch *chains.Chains, ins *ir.Instr, op int, mach ir.Machine) (uint8, bool) {
+	defs := ch.UD(ins, op)
+	if len(defs) == 0 {
+		return 32, false
+	}
+	valid := true
+	var w uint8
+	for _, d := range defs {
+		if d.IsParam() {
+			continue // parameters arrive extended
+		}
+		dd := ir.DefOf(d.Instr, mach)
+		if dd.Class == ir.DefExtended && dd.Bits <= 32 {
+			continue
+		}
+		valid = false
+		nat := uint8(d.Instr.W)
+		if nat > 32 {
+			nat = 32
+		}
+		switch {
+		case w == 0:
+			w = nat
+		case w != nat:
+			w = 32 // mixed producers: extend from the int width
+		}
+	}
+	if valid {
+		return 32, false
+	}
+	if w == 0 {
+		w = 32
+	}
+	return w, true
+}
+
+// newSameRegExt builds the canonical compiler-generated extension
+// "r = ext.w r".
+func newSameRegExt(fn *ir.Func, w ir.Width, r ir.Reg) *ir.Instr {
+	ext := fn.NewInstr(ir.OpExt)
+	ext.W = w
+	ext.Dst = r
+	ext.Srcs[0] = r
+	ext.NSrcs = 1
+	return ext
+}
+
+// newDummy builds the paper's just_extended() marker for register r.
+func newDummy(fn *ir.Func, r ir.Reg) *ir.Instr {
+	d := fn.NewInstr(ir.OpExtDummy)
+	d.W = ir.W32
+	d.Dst = r
+	d.Srcs[0] = r
+	d.NSrcs = 1
+	return d
+}

@@ -1,0 +1,106 @@
+package extelim
+
+import (
+	"testing"
+
+	"signext/internal/ir"
+)
+
+// buildFig15 reproduces the paper's Figure 15 drawback shape for the PDE
+// approach: an extension whose demands sit on both sides of a branch, where
+// forward motion (PDE) cannot sink it past the split, while insertion +
+// frequency-ordered elimination places the surviving extension in the cold
+// arm.
+//
+//	x = a + b              (dirty def; conversion appends ext (3))
+//	if (p) goto hot
+//	cold: d = (double) x   (requires extension — the paper's (5))
+//	hot:  store32 x        (does not require)
+func buildFig15() (*ir.Func, *ir.Block, *ir.Block) {
+	b := ir.NewFunc("fig15", ir.Param{W: ir.W32}, ir.Param{W: ir.W32})
+	x := b.Add(ir.W32, ir.Reg(0), ir.Reg(1))
+	b.Ext(ir.W32, x) // the conversion-generated (3)
+	hot := b.NewBlock()
+	cold := b.NewBlock()
+	b.Br(ir.W32, ir.CondGT, ir.Reg(0), ir.Reg(1), hot, cold)
+	b.SetBlock(hot)
+	b.StoreG(ir.W32, 0, x)
+	b.Print(ir.W32, ir.Reg(0)) // keep the block busy; param needs no ext
+	b.Ret(ir.NoReg)
+	b.SetBlock(cold)
+	d := b.I2D(x)
+	b.FPrint(d)
+	b.Ret(ir.NoReg)
+	return b.Fn, hot, cold
+}
+
+func countExts(blk *ir.Block) int {
+	n := 0
+	for _, ins := range blk.Instrs {
+		if ins.IsExt() {
+			n++
+		}
+	}
+	return n
+}
+
+// TestFigure15WithoutInsertion establishes the drawback itself: elimination
+// alone cannot move the extension — the cold arm's int-to-double demand pins
+// the after-definition extension in the shared prefix, where the hot path
+// pays for it on every execution. This is what Figure 15 says PDE also fails
+// to fix, and what insertion (next test) solves.
+func TestFigure15WithoutInsertion(t *testing.T) {
+	fn, hot, cold := buildFig15()
+	Eliminate(fn, Config{Machine: ir.IA64, Order: true, Array: true})
+	if got := countExts(fn.Entry()); got != 1 {
+		t.Fatalf("without insertion the prefix extension must survive, got %d:\n%s",
+			got, fn.Format())
+	}
+	if countExts(hot) != 0 || countExts(cold) != 0 {
+		t.Fatalf("no extensions belong in the arms without insertion:\n%s", fn.Format())
+	}
+}
+
+// TestFigure15WithInsertion: with a loop present (making insertion eligible)
+// the inserted use-site extension in the cold region survives and the
+// loop-resident one disappears — the behaviour the paper credits over PDE.
+func TestFigure15WithInsertion(t *testing.T) {
+	b := ir.NewFunc("fig15loop", ir.Param{W: ir.W32}, ir.Param{W: ir.W32})
+	x := b.Fn.NewReg()
+	i := b.Fn.NewReg()
+	b.ConstTo(ir.W32, i, 0)
+	b.ConstTo(ir.W32, x, 0)
+	loop := b.NewBlock()
+	hot := b.NewBlock()
+	latch := b.NewBlock()
+	cold := b.NewBlock()
+	b.Jmp(loop)
+	b.SetBlock(loop)
+	b.OpTo(ir.OpAdd, ir.W32, x, x, ir.Reg(0))
+	b.Ext(ir.W32, x) // conversion's after-def extension, inside the loop
+	b.Br(ir.W32, ir.CondLT, i, ir.Reg(1), hot, cold)
+	b.SetBlock(hot)
+	b.StoreG(ir.W32, 0, x) // low-bits use only
+	b.OpTo(ir.OpAdd, ir.W32, i, i, b.Const(ir.W32, 1))
+	b.Ext(ir.W32, i)
+	b.Jmp(latch)
+	b.SetBlock(latch)
+	b.Jmp(loop)
+	b.SetBlock(cold)
+	d := b.I2D(x) // the only genuine demand, in the cold exit
+	b.FPrint(d)
+	b.Ret(ir.NoReg)
+	fn := b.Fn
+
+	st := Eliminate(fn, Config{Machine: ir.IA64, Insert: true, Order: true, Array: true})
+	if st.Inserted == 0 {
+		t.Fatal("insertion should have added the use-site extension")
+	}
+	if got := countExts(loop); got != 0 {
+		t.Fatalf("the in-loop extension must be gone:\n%s", fn.Format())
+	}
+	if got := countExts(cold); got != 1 {
+		t.Fatalf("exactly the inserted extension survives in the cold exit, got %d:\n%s",
+			got, fn.Format())
+	}
+}

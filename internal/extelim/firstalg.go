@@ -1,0 +1,117 @@
+package extelim
+
+import (
+	"signext/internal/cfg"
+	"signext/internal/ir"
+)
+
+// FirstAlgorithm is the paper's original sign extension elimination: after
+// generation-after-definitions (Convert64), a backward dataflow analysis
+// computes, for every register at every program point, how many low bits of
+// the register the rest of the execution can observe; an extension "r =
+// ext.W r" is removed when at most W bits are demanded after it.
+//
+// This reproduces the paper's "first algorithm (bwd flow)" rows, including
+// its four documented limitations: it cannot remove extensions feeding array
+// effective addresses, it misses opportunities a UD-direction check would
+// catch, it keeps the latest extension in the flow graph (possibly the one
+// inside a loop), and it cannot move extensions out of loops.
+//
+// It returns the number of extensions removed.
+func FirstAlgorithm(fn *ir.Func) int {
+	info := cfg.Compute(fn)
+
+	// demandIn[b][r]: bits of register r demanded at entry to block b.
+	demandIn := map[*ir.Block][]uint8{}
+	for _, b := range fn.Blocks {
+		demandIn[b] = make([]uint8, fn.NReg)
+	}
+	post := info.PostOrder()
+	cur := make([]uint8, fn.NReg)
+	for changed := true; changed; {
+		changed = false
+		for _, b := range post {
+			// Demand at block exit: join (max) over successors' entries.
+			for r := range cur {
+				cur[r] = 0
+			}
+			for _, s := range b.Succs {
+				for r, d := range demandIn[s] {
+					if d > cur[r] {
+						cur[r] = d
+					}
+				}
+			}
+			transferBlock(b, cur, nil)
+			in := demandIn[b]
+			for r := range cur {
+				if cur[r] != in[r] {
+					in[r] = cur[r]
+					changed = true
+				}
+			}
+		}
+	}
+
+	// Removal pass: walk each block backward with the converged exit state
+	// and delete extensions whose register is demanded at most W bits.
+	removed := 0
+	for _, b := range post {
+		for r := range cur {
+			cur[r] = 0
+		}
+		for _, s := range b.Succs {
+			for r, d := range demandIn[s] {
+				if d > cur[r] {
+					cur[r] = d
+				}
+			}
+		}
+		var dead []*ir.Instr
+		transferBlock(b, cur, func(ext *ir.Instr, after uint8) {
+			if after <= uint8(ext.W) {
+				dead = append(dead, ext)
+			}
+		})
+		for _, e := range dead {
+			b.Remove(e)
+			removed++
+		}
+	}
+	return removed
+}
+
+// transferBlock propagates bit demands backward through one block. onExt, if
+// non-nil, receives each same-register extension together with the demand on
+// its register immediately after it.
+func transferBlock(b *ir.Block, demand []uint8, onExt func(*ir.Instr, uint8)) {
+	for k := len(b.Instrs) - 1; k >= 0; k-- {
+		ins := b.Instrs[k]
+		var dstDemand uint8
+		if ins.HasDst() {
+			dstDemand = demand[ins.Dst]
+			demand[ins.Dst] = 0 // the definition kills the demand
+		}
+		if ins.IsExt() && ins.Dst == ins.Srcs[0] {
+			if onExt != nil {
+				onExt(ins, dstDemand)
+			}
+			// The extension satisfies any demand; it reads only W bits.
+			if w := uint8(ins.W); w > demand[ins.Srcs[0]] {
+				demand[ins.Srcs[0]] = w
+			}
+			continue
+		}
+		for op := 0; op < ins.NumUses(); op++ {
+			r := ins.UseAt(op)
+			u := ir.UseOf(ins, op)
+			if u.Class == ir.UseRef || u.Class == ir.UseFloat {
+				continue
+			}
+			d := u.DemandBits(dstDemand)
+			if d > demand[r] {
+				demand[r] = d
+			}
+		}
+	}
+}

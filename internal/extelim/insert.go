@@ -1,0 +1,191 @@
+package extelim
+
+import (
+	"signext/internal/cfg"
+	"signext/internal/ir"
+)
+
+// insertSimple is the paper's simple insertion algorithm (section 2.1): place
+// a sign extension immediately before every instruction that requires one,
+// unless the register is obviously sign-extended at that point. Combined with
+// elimination and order determination this effectively moves extensions out
+// of loops (Figures 7 and 8). The paper applies insertion only to methods
+// containing a loop, balancing compilation time against effectiveness; the
+// caller enforces that. Returns the number of extensions inserted.
+func insertSimple(fn *ir.Func, kinds []ir.Kind, mach ir.Machine) int {
+	n := 0
+	for _, b := range fn.Blocks {
+		for k := 0; k < len(b.Instrs); k++ {
+			ins := b.Instrs[k]
+			if ins.IsExt() || ins.IsDummy() {
+				continue
+			}
+			done := map[ir.Reg]bool{}
+			for op := 0; op < ins.NumUses(); op++ {
+				r := ins.UseAt(op)
+				if done[r] || kinds[r] != ir.KInt32 {
+					continue
+				}
+				if !ir.RequiresExt(ins, op) {
+					continue
+				}
+				if obviouslyExtended(b, k, r, mach) {
+					continue
+				}
+				done[r] = true
+				b.InsertAt(k, newSameRegExt(fn, ir.W32, r))
+				k++
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// obviouslyExtended is the quick local check: the nearest preceding
+// definition of r inside the same block is itself extension-producing.
+func obviouslyExtended(b *ir.Block, idx int, r ir.Reg, mach ir.Machine) bool {
+	for k := idx - 1; k >= 0; k-- {
+		ins := b.Instrs[k]
+		if !ins.HasDst() || ins.Dst != r {
+			continue
+		}
+		d := ir.DefOf(ins, mach)
+		return d.Class == ir.DefExtended && d.Bits <= 32
+	}
+	return false
+}
+
+// insertDummies places the paper's just_extended() marker after every array
+// access, recording that the index register is guaranteed sign-extended (and,
+// per the language specification, that its value was a valid subscript) —
+// unless the access overwrites the index immediately, as in "i = a[i]".
+// Dummies exist only to let other extensions be eliminated; removeDummies
+// strips them once elimination is done. Returns the number inserted.
+func insertDummies(fn *ir.Func, kinds []ir.Kind) int {
+	n := 0
+	for _, b := range fn.Blocks {
+		for k := 0; k < len(b.Instrs); k++ {
+			ins := b.Instrs[k]
+			var idx ir.Reg
+			switch ins.Op {
+			case ir.OpArrLoad:
+				idx = ins.Srcs[1]
+				if ins.Dst == idx {
+					continue // "i = a[i]": the index is gone
+				}
+			case ir.OpArrStore:
+				idx = ins.Srcs[1]
+			default:
+				continue
+			}
+			if kinds[idx] != ir.KInt32 {
+				continue
+			}
+			b.InsertAt(k+1, newDummy(fn, idx))
+			k++
+			n++
+		}
+	}
+	return n
+}
+
+// removeDummies strips every remaining dummy marker; called after the
+// elimination phase ("this phase ends with one trivial operation; that is,
+// to eliminate all the dummy sign extensions").
+func removeDummies(fn *ir.Func) {
+	for _, b := range fn.Blocks {
+		kept := b.Instrs[:0]
+		for _, ins := range b.Instrs {
+			if ins.IsDummy() {
+				ins.Blk = nil
+				continue
+			}
+			kept = append(kept, ins)
+		}
+		b.Instrs = kept
+	}
+}
+
+// insertPDE is the partial-dead-code-elimination-style insertion variant the
+// paper evaluates as "all, using PDE": instead of inserting before every
+// requiring instruction, each existing extension is moved forward to the
+// latest point on every path where it can be needed. The paper found the
+// simple algorithm slightly better on every benchmark (Figures 11, 12 and
+// the discussion of Figure 15); this implementation exists to reproduce that
+// comparison. Returns the number of extension copies created minus removals.
+func insertPDE(fn *ir.Func, info *cfg.Info) int {
+	delta := 0
+	for _, b := range fn.Blocks {
+		// Snapshot: sinking mutates instruction order.
+		exts := []*ir.Instr{}
+		for _, ins := range b.Instrs {
+			if ins.IsExt() {
+				exts = append(exts, ins)
+			}
+		}
+		for _, e := range exts {
+			delta += sinkExt(fn, info, e, 0)
+		}
+	}
+	return delta
+}
+
+// sinkExt pushes one same-register extension forward past independent
+// instructions; when it reaches a block end it duplicates into every
+// single-predecessor successor that may still need the value. depth bounds
+// cross-block sinking.
+func sinkExt(fn *ir.Func, info *cfg.Info, e *ir.Instr, depth int) int {
+	if e.Dst != e.Srcs[0] {
+		return 0
+	}
+	r := e.Dst
+	b := e.Blk
+	k := b.IndexOf(e)
+	for {
+		if k+1 >= len(b.Instrs) {
+			break
+		}
+		next := b.Instrs[k+1]
+		if usesReg(next, r) || (next.HasDst() && next.Dst == r) {
+			return 0 // a demand or a kill: this is the latest point
+		}
+		if next.IsTerminator() {
+			if usesReg(next, r) {
+				return 0
+			}
+			// Sink into successors if each is exclusively ours.
+			if depth >= 3 || len(b.Succs) == 0 {
+				return 0
+			}
+			for _, s := range b.Succs {
+				if len(s.Preds) != 1 {
+					return 0
+				}
+			}
+			delta := 0
+			for _, s := range b.Succs {
+				c := newSameRegExt(fn, e.W, r)
+				s.InsertAt(0, c)
+				delta++
+				delta += sinkExt(fn, info, c, depth+1)
+			}
+			b.Remove(e)
+			return delta - 1
+		}
+		// Swap e past next.
+		b.Instrs[k], b.Instrs[k+1] = next, e
+		k++
+	}
+	return 0
+}
+
+func usesReg(ins *ir.Instr, r ir.Reg) bool {
+	found := false
+	ins.ForEachUse(func(_ int, x ir.Reg) {
+		if x == r {
+			found = true
+		}
+	})
+	return found
+}

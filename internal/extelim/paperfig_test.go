@@ -1,0 +1,405 @@
+package extelim
+
+import (
+	"testing"
+
+	"signext/internal/interp"
+	"signext/internal/ir"
+)
+
+// buildFig7 constructs the paper's Figure 3 / Figure 7 program:
+//
+//	int t = 0; int i = mem;          // mem in global g0, zero-extending load
+//	do { i = i - 1; j = a[i]; j &= 0x0fffffff; t += j; } while (i > start);
+//	d = (double) t;
+//
+// plus a main that allocates and fills the array. Returns the program and
+// the fig7 function.
+func buildFig7() (*ir.Program, *ir.Func) {
+	prog := ir.NewProgram()
+	prog.NGlobals = 1
+
+	b := ir.NewFunc("fig7", ir.Param{Ref: true}, ir.Param{W: ir.W32})
+	f := b.Fn
+	a, start := ir.Reg(0), ir.Reg(1)
+	t := f.NewReg()
+	i := f.NewReg()
+	j := f.NewReg()
+	one := b.Const(ir.W32, 1)
+	mask := b.Const(ir.W32, 0x0fffffff)
+	b.ConstTo(ir.W32, t, 0)
+	b.LoadGTo(ir.W32, i, 0)
+	loop := f.NewBlock()
+	exit := f.NewBlock()
+	b.Jmp(loop)
+	b.SetBlock(loop)
+	b.OpTo(ir.OpSub, ir.W32, i, i, one)
+	b.ArrLoadTo(ir.W32, false, j, a, i)
+	b.OpTo(ir.OpAnd, ir.W32, j, j, mask)
+	b.OpTo(ir.OpAdd, ir.W32, t, t, j)
+	b.Br(ir.W32, ir.CondGT, i, start, loop, exit)
+	b.SetBlock(exit)
+	d := b.I2D(t)
+	b.FPrint(d)
+	b.Print(ir.W32, i)
+	b.Ret(ir.NoReg)
+	prog.AddFunc(f)
+
+	mb := ir.NewFunc("main")
+	m := mb.Fn
+	n := mb.Const(ir.W32, 60)
+	arr := mb.NewArr(ir.W32, false, n)
+	k := m.NewReg()
+	mb.ConstTo(ir.W32, k, 0)
+	fill := m.NewBlock()
+	done := m.NewBlock()
+	mb.Jmp(fill)
+	mb.SetBlock(fill)
+	c1 := mb.Const(ir.W32, 1103515245)
+	c2 := mb.Const(ir.W32, 12345)
+	v := mb.Mul(ir.W32, k, c1)
+	v = mb.Add(ir.W32, v, c2)
+	mb.ArrStore(ir.W32, false, arr, k, v)
+	mb.OpTo(ir.OpAdd, ir.W32, k, k, mb.Const(ir.W32, 1))
+	mb.Br(ir.W32, ir.CondLT, k, n, fill, done)
+	mb.SetBlock(done)
+	mem := mb.Const(ir.W32, 50)
+	mb.StoreG(ir.W32, 0, mem)
+	mb.CallV("fig7", arr, mb.Const(ir.W32, 1))
+	mb.Ret(ir.NoReg)
+	prog.AddFunc(m)
+	_ = start
+	return prog, f
+}
+
+// run executes the program under Mode64 and returns output and dynamic
+// 32-bit extension count, failing the test on any runtime error.
+func run(t *testing.T, prog *ir.Program) (string, int64) {
+	t.Helper()
+	res, err := interp.Run(prog, "main", interp.Options{
+		Mode: interp.Mode64, Machine: ir.IA64, CheckDummies: true,
+	})
+	if err != nil {
+		t.Fatalf("run failed: %v\noutput so far:\n%s", err, res.Output)
+	}
+	return res.Output, res.Ext32()
+}
+
+// reference executes the pre-conversion program under 32-bit semantics.
+func reference(t *testing.T, prog *ir.Program) string {
+	t.Helper()
+	res, err := interp.Run(prog, "main", interp.Options{Mode: interp.Mode32})
+	if err != nil {
+		t.Fatalf("reference run failed: %v", err)
+	}
+	return res.Output
+}
+
+func convertAll(prog *ir.Program, mach ir.Machine) {
+	for _, fn := range prog.Funcs {
+		Convert64(fn, mach)
+	}
+}
+
+// TestConvert64Preserves checks the conversion invariant: the converted
+// program running on the dirty-upper-bits machine reproduces the 32-bit
+// reference semantics exactly.
+func TestConvert64Preserves(t *testing.T) {
+	prog, _ := buildFig7()
+	want := reference(t, prog)
+	convertAll(prog, ir.IA64)
+	got, _ := run(t, prog)
+	if got != want {
+		t.Fatalf("conversion changed behaviour:\nwant %q\ngot  %q", want, got)
+	}
+}
+
+// countExtsIn returns the number of OpExt instructions in the given block.
+func countExtsIn(b *ir.Block) int {
+	n := 0
+	for _, ins := range b.Instrs {
+		if ins.IsExt() {
+			n++
+		}
+	}
+	return n
+}
+
+// TestFigure3FirstAlgorithm reproduces the paper's Figure 3 analysis: the
+// first algorithm eliminates extensions (1), (5) and (7) but must keep (3)
+// (the array index, its first limitation) and (9) (needed by the
+// int-to-double conversion after the loop).
+func TestFigure3FirstAlgorithm(t *testing.T) {
+	prog, fn := buildFig7()
+	want := reference(t, prog)
+	convertAll(prog, ir.IA64)
+	if got := fn.CountOp(ir.OpExt); got != 5 {
+		t.Fatalf("conversion generated %d extensions in fig7, want 5", got)
+	}
+	for _, f := range prog.Funcs {
+		FirstAlgorithm(f)
+	}
+	if got := fn.CountOp(ir.OpExt); got != 2 {
+		t.Fatalf("first algorithm left %d extensions, want 2 ((3) and (9)):\n%s",
+			got, fn.Format())
+	}
+	loop := fn.Blocks[1]
+	if got := countExtsIn(loop); got != 2 {
+		t.Fatalf("first algorithm: %d extensions in the loop, want 2:\n%s", got, fn.Format())
+	}
+	got, _ := run(t, prog)
+	if got != want {
+		t.Fatalf("first algorithm miscompiled:\nwant %q\ngot  %q", want, got)
+	}
+}
+
+// TestFigure8NewAlgorithm reproduces Figure 8(b): with insertion, order
+// determination and array handling all enabled, the only surviving extension
+// is the inserted one before the int-to-double conversion, outside the loop.
+func TestFigure8NewAlgorithm(t *testing.T) {
+	prog, fn := buildFig7()
+	want := reference(t, prog)
+	convertAll(prog, ir.IA64)
+	for _, f := range prog.Funcs {
+		Eliminate(f, Config{Machine: ir.IA64, Insert: true, Order: true, Array: true})
+	}
+	loop, exit := fn.Blocks[1], fn.Blocks[2]
+	if got := countExtsIn(loop); got != 0 {
+		t.Fatalf("new algorithm left %d extensions in the loop, want 0:\n%s", got, fn.Format())
+	}
+	if got := countExtsIn(exit); got != 1 {
+		t.Fatalf("want exactly the inserted extension before i2d, got %d:\n%s", got, fn.Format())
+	}
+	if fn.CountOp(ir.OpExtDummy) != 0 {
+		t.Fatalf("dummies must be removed after elimination:\n%s", fn.Format())
+	}
+	got, _ := run(t, prog)
+	if got != want {
+		t.Fatalf("new algorithm miscompiled:\nwant %q\ngot  %q", want, got)
+	}
+}
+
+// TestFigure7DynamicCounts checks the dynamic-count gradient across variants
+// on the Figure 7 program: baseline > first algorithm ≥ basic > array-only >
+// full algorithm.
+func TestFigure7DynamicCounts(t *testing.T) {
+	counts := map[string]int64{}
+	variants := []struct {
+		name string
+		run  func(p *ir.Program)
+	}{
+		{"baseline", func(p *ir.Program) { convertAll(p, ir.IA64) }},
+		{"first", func(p *ir.Program) {
+			convertAll(p, ir.IA64)
+			for _, f := range p.Funcs {
+				FirstAlgorithm(f)
+			}
+		}},
+		{"basic", func(p *ir.Program) {
+			convertAll(p, ir.IA64)
+			for _, f := range p.Funcs {
+				Eliminate(f, Config{Machine: ir.IA64})
+			}
+		}},
+		{"array", func(p *ir.Program) {
+			convertAll(p, ir.IA64)
+			for _, f := range p.Funcs {
+				Eliminate(f, Config{Machine: ir.IA64, Array: true})
+			}
+		}},
+		{"all", func(p *ir.Program) {
+			convertAll(p, ir.IA64)
+			for _, f := range p.Funcs {
+				Eliminate(f, Config{Machine: ir.IA64, Insert: true, Order: true, Array: true})
+			}
+		}},
+	}
+	var want string
+	for _, v := range variants {
+		prog, _ := buildFig7()
+		if want == "" {
+			want = reference(t, prog)
+		}
+		v.run(prog)
+		out, n := run(t, prog)
+		if out != want {
+			t.Fatalf("%s: wrong output\nwant %q\ngot  %q", v.name, want, out)
+		}
+		counts[v.name] = n
+	}
+	if !(counts["baseline"] > counts["first"] &&
+		counts["first"] >= counts["basic"] &&
+		counts["basic"] > counts["array"] &&
+		counts["array"] > counts["all"]) {
+		t.Fatalf("unexpected dynamic count gradient: %v", counts)
+	}
+	if counts["all"] > 2 {
+		t.Fatalf("full algorithm should execute at most a couple of extensions, got %d", counts["all"])
+	}
+}
+
+// buildFig9 constructs the paper's Figure 9:
+//
+//	i = j + k; do { i = i + 1; a[i] = 0; } while (i < end);
+func buildFig9() (*ir.Program, *ir.Func) {
+	prog := ir.NewProgram()
+	b := ir.NewFunc("fig9",
+		ir.Param{Ref: true}, ir.Param{W: ir.W32}, ir.Param{W: ir.W32}, ir.Param{W: ir.W32})
+	f := b.Fn
+	a, j, k, end := ir.Reg(0), ir.Reg(1), ir.Reg(2), ir.Reg(3)
+	i := f.NewReg()
+	one := b.Const(ir.W32, 1)
+	zero := b.Const(ir.W32, 0)
+	b.OpTo(ir.OpAdd, ir.W32, i, j, k)
+	loop, exit := f.NewBlock(), f.NewBlock()
+	b.Jmp(loop)
+	b.SetBlock(loop)
+	b.OpTo(ir.OpAdd, ir.W32, i, i, one)
+	b.ArrStore(ir.W32, false, a, i, zero)
+	b.Br(ir.W32, ir.CondLT, i, end, loop, exit)
+	b.SetBlock(exit)
+	b.Print(ir.W32, i)
+	b.Ret(ir.NoReg)
+	prog.AddFunc(f)
+
+	mb := ir.NewFunc("main")
+	m := mb.Fn
+	n := mb.Const(ir.W32, 40)
+	arr := mb.NewArr(ir.W32, false, n)
+	mb.CallV("fig9", arr, mb.Const(ir.W32, 3), mb.Const(ir.W32, 4), mb.Const(ir.W32, 39))
+	mb.Ret(ir.NoReg)
+	prog.AddFunc(m)
+	return prog, f
+}
+
+// TestFigure9OrderDetermination reproduces the paper's Figure 9: with order
+// determination the in-loop extension is eliminated and the entry one
+// survives (Result 1); only one of the two can go.
+func TestFigure9OrderDetermination(t *testing.T) {
+	prog, fn := buildFig9()
+	want := reference(t, prog)
+	convertAll(prog, ir.IA64)
+	for _, f := range prog.Funcs {
+		Eliminate(f, Config{Machine: ir.IA64, Order: true, Array: true})
+	}
+	entry, loop := fn.Blocks[0], fn.Blocks[1]
+	if got := countExtsIn(loop); got != 0 {
+		t.Fatalf("order+array must clear the loop, got %d exts:\n%s", got, fn.Format())
+	}
+	if got := countExtsIn(entry); got != 1 {
+		t.Fatalf("Result 1 keeps the entry extension, got %d:\n%s", got, fn.Format())
+	}
+	got, _ := run(t, prog)
+	if got != want {
+		t.Fatalf("fig9 miscompiled:\nwant %q\ngot  %q", want, got)
+	}
+}
+
+// buildFig10 isolates the paper's Figure 10 / Theorem 4 maxlen effect: a
+// count-down-by-2 loop over an array index arriving sign-extended (as a
+// parameter). With Java's maxlen = 0x7fffffff, j = -2 violates Theorem 4's
+// bound of -1 and the in-loop extension must stay; with maxlen = 0x7fff0001
+// the bound loosens to -65535 and it can go.
+func buildFig10() (*ir.Program, *ir.Func) {
+	prog := ir.NewProgram()
+	b := ir.NewFunc("fig10", ir.Param{Ref: true}, ir.Param{W: ir.W32}, ir.Param{W: ir.W32})
+	f := b.Fn
+	a, start := ir.Reg(0), ir.Reg(2)
+	i := f.NewReg()
+	t := f.NewReg()
+	j := f.NewReg()
+	two := b.Const(ir.W32, 2)
+	b.ConstTo(ir.W32, t, 0)
+	b.MovTo(ir.W32, i, ir.Reg(1))
+	loop, exit := f.NewBlock(), f.NewBlock()
+	b.Jmp(loop)
+	b.SetBlock(loop)
+	b.OpTo(ir.OpSub, ir.W32, i, i, two)
+	b.ArrLoadTo(ir.W32, false, j, a, i)
+	b.OpTo(ir.OpAdd, ir.W32, t, t, j)
+	b.Br(ir.W32, ir.CondGT, i, start, loop, exit)
+	b.SetBlock(exit)
+	b.Print(ir.W32, t)
+	b.Ret(ir.NoReg)
+	prog.AddFunc(f)
+
+	mb := ir.NewFunc("main")
+	m := mb.Fn
+	n := mb.Const(ir.W32, 64)
+	arr := mb.NewArr(ir.W32, false, n)
+	mb.CallV("fig10", arr, mb.Const(ir.W32, 62), mb.Const(ir.W32, 2))
+	mb.Ret(ir.NoReg)
+	prog.AddFunc(m)
+	return prog, f
+}
+
+// TestFigure10MaxlenDependence: the same extension is kept under Java's
+// maximum array length and removable when the configuration bounds arrays
+// below 0x7fffffff (Theorem 4's maxlen parameter).
+func TestFigure10MaxlenDependence(t *testing.T) {
+	{
+		prog, fn := buildFig10()
+		convertAll(prog, ir.IA64)
+		for _, f := range prog.Funcs {
+			Eliminate(f, Config{Machine: ir.IA64, Order: true, Array: true})
+		}
+		loop := fn.Blocks[1]
+		hasIndexExt := false
+		for _, ins := range loop.Instrs {
+			if ins.IsExt() && ins.Dst == ir.Reg(3) {
+				hasIndexExt = true
+			}
+		}
+		if !hasIndexExt {
+			t.Fatalf("maxlen=0x7fffffff: the i-2 index extension must survive:\n%s", fn.Format())
+		}
+	}
+	{
+		prog, fn := buildFig10()
+		want := reference(t, prog)
+		convertAll(prog, ir.IA64)
+		for _, f := range prog.Funcs {
+			Eliminate(f, Config{Machine: ir.IA64, Order: true, Array: true, MaxArrayLen: 0x7fff0001})
+		}
+		loop := fn.Blocks[1]
+		for _, ins := range loop.Instrs {
+			if ins.IsExt() && ins.Dst == ir.Reg(3) {
+				t.Fatalf("maxlen=0x7fff0001: Theorem 4 should remove the index extension:\n%s", fn.Format())
+			}
+		}
+		res, err := interp.Run(prog, "main", interp.Options{
+			Mode: interp.Mode64, Machine: ir.IA64, CheckDummies: true, MaxArrayLen: 0x7fff0001,
+		})
+		if err != nil {
+			t.Fatalf("fig10 run failed: %v", err)
+		}
+		if res.Output != want {
+			t.Fatalf("fig10 miscompiled:\nwant %q\ngot  %q", want, res.Output)
+		}
+	}
+}
+
+// TestFigure9WithoutOrder reproduces the paper's Result 2: in the fixed
+// reverse-DFS order the entry-block extension is analyzed (and eliminated)
+// first, leaving the in-loop extension stuck — the motivating failure for
+// order determination.
+func TestFigure9WithoutOrder(t *testing.T) {
+	prog, fn := buildFig9()
+	convertAll(prog, ir.IA64)
+	for _, f := range prog.Funcs {
+		Eliminate(f, Config{Machine: ir.IA64, Array: true}) // Order off
+	}
+	entry, loop := fn.Blocks[0], fn.Blocks[1]
+	if got := countExtsIn(entry); got != 0 {
+		t.Fatalf("Result 2 eliminates the entry extension first, got %d:\n%s", got, fn.Format())
+	}
+	if got := countExtsIn(loop); got != 1 {
+		t.Fatalf("Result 2 leaves the in-loop extension, got %d:\n%s", got, fn.Format())
+	}
+	// Behaviour must still be correct, just slower.
+	want := reference(t, prog)
+	got, _ := run(t, prog)
+	if got != want {
+		t.Fatalf("Result 2 must still be sound:\nwant %q\ngot  %q", want, got)
+	}
+}

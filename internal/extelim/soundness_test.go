@@ -1,0 +1,213 @@
+package extelim
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"signext/internal/interp"
+	"signext/internal/ir"
+)
+
+// runBoth executes the program before and after Eliminate under Mode64 and
+// requires identical output; returns the optimized dynamic extension count.
+func runBoth(t *testing.T, build func() *ir.Program, cfg Config) int64 {
+	t.Helper()
+	before := build()
+	for _, fn := range before.Funcs {
+		Convert64(fn, cfg.Machine)
+	}
+	refRes, err := interp.Run(before, "main", interp.Options{
+		Mode: interp.Mode64, Machine: cfg.Machine, CheckDummies: true,
+	})
+	if err != nil {
+		t.Fatalf("pre-opt run: %v", err)
+	}
+	after := build()
+	for _, fn := range after.Funcs {
+		Convert64(fn, cfg.Machine)
+		Eliminate(fn, cfg)
+		if verr := fn.Verify(); verr != nil {
+			t.Fatalf("verify: %v", verr)
+		}
+	}
+	optRes, err := interp.Run(after, "main", interp.Options{
+		Mode: interp.Mode64, Machine: cfg.Machine, CheckDummies: true,
+	})
+	if err != nil {
+		t.Fatalf("post-opt run: %v", err)
+	}
+	if refRes.Output != optRes.Output {
+		var dump strings.Builder
+		for _, fn := range after.Funcs {
+			dump.WriteString(fn.Format())
+		}
+		t.Fatalf("elimination changed behaviour:\nwant %q\ngot  %q\n%s",
+			refRes.Output, optRes.Output, dump.String())
+	}
+	return optRes.Ext32()
+}
+
+// TestMinIntBoundarySubscripts drives indices around the int32 boundaries —
+// the regime the Theorem proofs reason about.
+func TestMinIntBoundarySubscripts(t *testing.T) {
+	build := func() *ir.Program {
+		prog := ir.NewProgram()
+		prog.NGlobals = 1
+		b := ir.NewFunc("main")
+		n := b.Const(ir.W32, 16)
+		a := b.NewArr(ir.W32, false, n)
+		// i starts at MaxInt32-3 via a dirty computation, then wraps.
+		i := b.Fn.NewReg()
+		b.ConstTo(ir.W32, i, math.MaxInt32-3)
+		loop, exit := b.NewBlock(), b.NewBlock()
+		b.Jmp(loop)
+		b.SetBlock(loop)
+		b.OpTo(ir.OpAdd, ir.W32, i, i, b.Const(ir.W32, 1))
+		// Mask into range before the access: the subscript itself is safe,
+		// but i's raw value crosses the sign boundary.
+		m := b.And(ir.W32, i, b.Const(ir.W32, 15))
+		v := b.ArrLoad(ir.W32, false, a, m)
+		b.ArrStore(ir.W32, false, a, m, b.Add(ir.W32, v, b.Const(ir.W32, 1)))
+		end := b.Const(ir.W32, math.MinInt32+5)
+		b.Br(ir.W32, ir.CondNE, i, end, loop, exit)
+		b.SetBlock(exit)
+		s := b.Fn.NewReg()
+		b.ConstTo(ir.W32, s, 0)
+		k := b.Fn.NewReg()
+		b.ConstTo(ir.W32, k, 0)
+		l2, x2 := b.NewBlock(), b.NewBlock()
+		b.Jmp(l2)
+		b.SetBlock(l2)
+		e := b.ArrLoad(ir.W32, false, a, k)
+		b.OpTo(ir.OpAdd, ir.W32, s, s, e)
+		b.OpTo(ir.OpAdd, ir.W32, k, k, b.Const(ir.W32, 1))
+		b.Br(ir.W32, ir.CondLT, k, n, l2, x2)
+		b.SetBlock(x2)
+		b.Print(ir.W32, s)
+		b.Ret(ir.NoReg)
+		prog.AddFunc(b.Fn)
+		return prog
+	}
+	runBoth(t, build, Config{Machine: ir.IA64, Insert: true, Order: true, Array: true})
+}
+
+// TestUninitializedRegisterTolerated: a (dead-path) use with no reaching
+// definitions must not crash the analyses or license bad removals.
+func TestUninitializedRegisterTolerated(t *testing.T) {
+	build := func() *ir.Program {
+		prog := ir.NewProgram()
+		b := ir.NewFunc("main")
+		ghost := b.Fn.NewReg() // never defined
+		live, dead := b.NewBlock(), b.NewBlock()
+		one := b.Const(ir.W32, 1)
+		b.Br(ir.W32, ir.CondEQ, one, one, live, dead)
+		b.SetBlock(dead)
+		b.Ext(ir.W32, ghost)
+		d := b.I2D(ghost)
+		b.FPrint(d)
+		b.Ret(ir.NoReg)
+		b.SetBlock(live)
+		b.Print(ir.W32, one)
+		b.Ret(ir.NoReg)
+		prog.AddFunc(b.Fn)
+		return prog
+	}
+	runBoth(t, build, Config{Machine: ir.IA64, Insert: true, Order: true, Array: true})
+}
+
+// TestAliasedArrays: two references to the same array must not confuse the
+// dummy facts.
+func TestAliasedArrays(t *testing.T) {
+	build := func() *ir.Program {
+		prog := ir.NewProgram()
+		b := ir.NewFunc("main")
+		n := b.Const(ir.W32, 8)
+		a1 := b.NewArr(ir.W32, false, n)
+		a2 := b.Mov(ir.W64, a1) // alias
+		i := b.Fn.NewReg()
+		b.ConstTo(ir.W32, i, 0)
+		loop, exit := b.NewBlock(), b.NewBlock()
+		b.Jmp(loop)
+		b.SetBlock(loop)
+		b.ArrStore(ir.W32, false, a1, i, i)
+		v := b.ArrLoad(ir.W32, false, a2, i)
+		b.Print(ir.W32, v)
+		b.OpTo(ir.OpAdd, ir.W32, i, i, b.Const(ir.W32, 1))
+		b.Br(ir.W32, ir.CondLT, i, n, loop, exit)
+		b.SetBlock(exit)
+		b.Ret(ir.NoReg)
+		prog.AddFunc(b.Fn)
+		return prog
+	}
+	runBoth(t, build, Config{Machine: ir.IA64, Insert: true, Order: true, Array: true})
+}
+
+// TestDirtyFlowThroughEveryThroughOp chains the value through each Case 2
+// operation before a full-register use.
+func TestDirtyFlowThroughEveryThroughOp(t *testing.T) {
+	ops := []ir.Op{ir.OpMov, ir.OpAnd, ir.OpOr, ir.OpXor, ir.OpNot, ir.OpAdd, ir.OpSub, ir.OpMul}
+	for _, op := range ops {
+		op := op
+		build := func() *ir.Program {
+			prog := ir.NewProgram()
+			prog.NGlobals = 1
+			b := ir.NewFunc("main")
+			b.StoreG(ir.W32, 0, b.Const(ir.W32, -123456))
+			x := b.LoadG(ir.W32, 0) // zero-extended: dirty as an int
+			var y ir.Reg
+			switch op {
+			case ir.OpMov:
+				y = b.Mov(ir.W32, x)
+			case ir.OpNot:
+				y = b.Not(ir.W32, x)
+			default:
+				ins := b.Fn.NewInstr(op)
+				ins.W = ir.W32
+				ins.Dst = b.Fn.NewReg()
+				ins.Srcs[0], ins.Srcs[1] = x, x
+				ins.NSrcs = 2
+				ins.Blk = b.Block()
+				b.Block().Instrs = append(b.Block().Instrs, ins)
+				y = ins.Dst
+			}
+			d := b.I2D(y) // demands the full register
+			b.FPrint(d)
+			b.Ret(ir.NoReg)
+			prog.AddFunc(b.Fn)
+			return prog
+		}
+		if n := runBoth(t, build, Config{Machine: ir.IA64, Insert: true, Order: true, Array: true}); n == 0 {
+			// At least one extension must execute somewhere on the path for
+			// the dirty load feeding i2d.
+			t.Errorf("%v: every extension removed on a genuinely dirty path", op)
+		}
+	}
+}
+
+// TestSelfLoopExtension: an extension that reaches its own source around a
+// back edge (no redefinition in the loop) is handled by the cycle-optimistic
+// flags without infinite recursion.
+func TestSelfLoopExtension(t *testing.T) {
+	build := func() *ir.Program {
+		prog := ir.NewProgram()
+		b := ir.NewFunc("main")
+		x := b.Fn.NewReg()
+		b.ConstTo(ir.W32, x, 41)
+		i := b.Fn.NewReg()
+		b.ConstTo(ir.W32, i, 0)
+		loop, exit := b.NewBlock(), b.NewBlock()
+		b.Jmp(loop)
+		b.SetBlock(loop)
+		b.Ext(ir.W32, x) // x never redefined in the loop: self-reaching ext
+		b.OpTo(ir.OpAdd, ir.W32, i, i, b.Const(ir.W32, 1))
+		b.Br(ir.W32, ir.CondLT, i, b.Const(ir.W32, 5), loop, exit)
+		b.SetBlock(exit)
+		d := b.I2D(x)
+		b.FPrint(d)
+		b.Ret(ir.NoReg)
+		prog.AddFunc(b.Fn)
+		return prog
+	}
+	runBoth(t, build, Config{Machine: ir.IA64, Insert: true, Order: true, Array: true})
+}

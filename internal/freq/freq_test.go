@@ -1,0 +1,107 @@
+package freq
+
+import (
+	"testing"
+
+	"signext/internal/cfg"
+	"signext/internal/interp"
+	"signext/internal/ir"
+)
+
+// buildIfInLoop: a loop whose body splits into a hot arm and a cold arm.
+func buildIfInLoop() (*ir.Func, *ir.Block, *ir.Block, *ir.Block, *ir.Instr) {
+	b := ir.NewFunc("f", ir.Param{W: ir.W32})
+	i := b.Fn.NewReg()
+	b.ConstTo(ir.W32, i, 0)
+	head := b.NewBlock()
+	hot := b.NewBlock()
+	cold := b.NewBlock()
+	latch := b.NewBlock()
+	exit := b.NewBlock()
+	b.Jmp(head)
+	b.SetBlock(head)
+	mask := b.Const(ir.W32, 15)
+	m := b.And(ir.W32, i, mask)
+	zero := b.Const(ir.W32, 0)
+	var condBr *ir.Instr
+	{
+		ins := b.Fn.NewInstr(ir.OpBr)
+		ins.W = ir.W32
+		ins.Cond = ir.CondEQ
+		ins.Srcs[0], ins.Srcs[1] = m, zero
+		ins.NSrcs = 2
+		ins.Blk = b.Block()
+		b.Block().Instrs = append(b.Block().Instrs, ins)
+		ir.AddEdge(b.Block(), cold) // taken 1/16 of the time
+		ir.AddEdge(b.Block(), hot)
+		condBr = ins
+		b.SetBlock(nil)
+	}
+	b.SetBlock(hot)
+	b.Jmp(latch)
+	b.SetBlock(cold)
+	b.Jmp(latch)
+	b.SetBlock(latch)
+	b.OpTo(ir.OpAdd, ir.W32, i, i, b.Const(ir.W32, 1))
+	b.Ext(ir.W32, i)
+	b.Br(ir.W32, ir.CondLT, i, ir.Reg(0), head, exit)
+	b.SetBlock(exit)
+	b.Print(ir.W32, i)
+	b.Ret(ir.NoReg)
+	return b.Fn, hot, cold, exit, condBr
+}
+
+func TestStaticEstimate(t *testing.T) {
+	fn, hot, cold, exit, _ := buildIfInLoop()
+	info := cfg.Compute(fn)
+	e := Compute(fn, info, nil)
+	if e.Freq[hot] <= e.Freq[exit] || e.Freq[cold] <= e.Freq[exit] {
+		t.Fatalf("loop blocks must be hotter than the exit: hot=%g cold=%g exit=%g",
+			e.Freq[hot], e.Freq[cold], e.Freq[exit])
+	}
+	// Statically the if arms split 50/50, so hot == cold.
+	if e.Freq[hot] != e.Freq[cold] {
+		t.Fatalf("static estimate should split evenly: %g vs %g", e.Freq[hot], e.Freq[cold])
+	}
+	order := e.HotFirst()
+	if order[len(order)-1] != exit && order[len(order)-2] != exit {
+		t.Fatalf("exit should rank near the bottom: %v", order)
+	}
+}
+
+func TestProfileRefinesEstimate(t *testing.T) {
+	fn, hot, cold, _, _ := buildIfInLoop()
+	prog := ir.NewProgram()
+	prog.AddFunc(fn)
+	// Drive f with 64 iterations via a main that calls it.
+	mb := ir.NewFunc("main")
+	mb.CallV("f", mb.Const(ir.W32, 64))
+	mb.Ret(ir.NoReg)
+	prog.AddFunc(mb.Fn)
+	res, err := interp.Run(prog, "main", interp.Options{Mode: interp.Mode32, Profile: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	info := cfg.Compute(fn)
+	e := Compute(fn, info, res.Profile)
+	if e.Freq[hot] <= e.Freq[cold] {
+		t.Fatalf("profile must discover the skew: hot=%g cold=%g", e.Freq[hot], e.Freq[cold])
+	}
+	// 15/16 vs 1/16 split: the ratio should be large.
+	if e.Freq[hot] < 10*e.Freq[cold] {
+		t.Fatalf("profiled ratio too small: hot=%g cold=%g", e.Freq[hot], e.Freq[cold])
+	}
+}
+
+func TestHotFirstDeterministic(t *testing.T) {
+	fn, _, _, _, _ := buildIfInLoop()
+	info := cfg.Compute(fn)
+	e := Compute(fn, info, nil)
+	a := e.HotFirst()
+	b := e.HotFirst()
+	for k := range a {
+		if a[k] != b[k] {
+			t.Fatal("HotFirst is not deterministic")
+		}
+	}
+}

@@ -1,0 +1,53 @@
+package interp
+
+import (
+	"testing"
+
+	"signext/internal/ir"
+)
+
+// benchProg: a tight arithmetic loop, the interpreter's hot path.
+func benchProg() *ir.Program {
+	prog := ir.NewProgram()
+	b := ir.NewFunc("main")
+	i := b.Fn.NewReg()
+	s := b.Fn.NewReg()
+	b.ConstTo(ir.W32, i, 0)
+	b.ConstTo(ir.W32, s, 0)
+	n := b.Const(ir.W32, 100000)
+	one := b.Const(ir.W32, 1)
+	loop, exit := b.NewBlock(), b.NewBlock()
+	b.Jmp(loop)
+	b.SetBlock(loop)
+	b.OpTo(ir.OpAdd, ir.W32, s, s, i)
+	b.Ext(ir.W32, s)
+	b.OpTo(ir.OpAdd, ir.W32, i, i, one)
+	b.Ext(ir.W32, i)
+	b.Br(ir.W32, ir.CondLT, i, n, loop, exit)
+	b.SetBlock(exit)
+	b.Print(ir.W32, s)
+	b.Ret(ir.NoReg)
+	prog.AddFunc(b.Fn)
+	return prog
+}
+
+func BenchmarkInterpLoop(b *testing.B) {
+	prog := benchProg()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Run(prog, "main", Options{Mode: Mode64}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkInterpLoopWithCost(b *testing.B) {
+	prog := benchProg()
+	cost := func(ins *ir.Instr) int64 { return 1 }
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Run(prog, "main", Options{Mode: Mode64, Cost: cost}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,204 @@
+package interp
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"signext/internal/ir"
+)
+
+func TestFloatArithmetic(t *testing.T) {
+	r, err := run(t, Options{Mode: Mode64}, func(b *ir.Builder) {
+		x := b.FConst(2.5)
+		y := b.FConst(4.0)
+		b.FPrint(b.FAdd(x, y))
+		b.FPrint(b.FSub(x, y))
+		b.FPrint(b.FMul(x, y))
+		b.FPrint(b.FDiv(x, y))
+		b.FPrint(b.FNeg(x))
+		b.FPrint(b.FMov(y))
+		b.Ret(ir.NoReg)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := "6.5\n-1.5\n10\n0.625\n-2.5\n4\n"
+	if r.Output != want {
+		t.Fatalf("got %q want %q", r.Output, want)
+	}
+}
+
+func TestFloatBuiltins(t *testing.T) {
+	r, err := run(t, Options{Mode: Mode64}, func(b *ir.Builder) {
+		x := b.FConst(4.0)
+		b.FPrint(b.FCall("sqrt", x))
+		b.FPrint(b.FCall("fabs", b.FNeg(x)))
+		b.FPrint(b.FCall("floor", b.FConst(2.9)))
+		b.FPrint(b.FCall("pow", b.FConst(2), b.FConst(8)))
+		b.FPrint(b.FCall("exp", b.FConst(0)))
+		b.FPrint(b.FCall("log", b.FConst(1)))
+		b.FPrint(b.FCall("sin", b.FConst(0)))
+		b.FPrint(b.FCall("cos", b.FConst(0)))
+		b.FPrint(b.FCall("atan", b.FConst(0)))
+		b.Ret(ir.NoReg)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := "2\n4\n2\n256\n1\n0\n0\n1\n1\n0\n"
+	_ = want
+	lines := strings.Split(strings.TrimSpace(r.Output), "\n")
+	wantVals := []float64{2, 4, 2, 256, 1, 0, 0, 1, 0}
+	if len(lines) != len(wantVals) {
+		t.Fatalf("line count: %q", r.Output)
+	}
+	for i, w := range wantVals {
+		if lines[i] != trimFloat(w) {
+			t.Errorf("builtin %d: got %s want %g", i, lines[i], w)
+		}
+	}
+	// Unknown builtin errors.
+	_, err = run(t, Options{Mode: Mode64}, func(b *ir.Builder) {
+		b.FPrint(b.FCall("nonsense", b.FConst(1)))
+		b.Ret(ir.NoReg)
+	})
+	if err == nil {
+		t.Fatal("unknown builtin accepted")
+	}
+}
+
+func trimFloat(f float64) string {
+	s := strings.TrimRight(strings.TrimRight(
+		strings.ReplaceAll(strings.TrimSpace(
+			strings.ToLower(strings.TrimSpace(formatF(f)))), "+", ""), "0"), ".")
+	if s == "" || s == "-" {
+		return "0"
+	}
+	return s
+}
+
+func formatF(f float64) string {
+	return strings.TrimSpace(strings.ReplaceAll(
+		strings.TrimSpace(strings.ToLower(strings.TrimSpace(fmtG(f)))), "e00", ""))
+}
+
+func fmtG(f float64) string {
+	// strconv via interp's own formatting: reuse a tiny program.
+	return strings.TrimSpace(floatString(f))
+}
+
+func floatString(f float64) string {
+	prog := ir.NewProgram()
+	b := ir.NewFunc("main")
+	b.FPrint(b.FConst(f))
+	b.Ret(ir.NoReg)
+	prog.AddFunc(b.Fn)
+	res, _ := Run(prog, "main", Options{Mode: Mode64})
+	return res.Output
+}
+
+func TestFloatGlobalsAndConversions(t *testing.T) {
+	r, err := run(t, Options{Mode: Mode64}, func(b *ir.Builder) {
+		v := b.FConst(3.75)
+		b.StoreGF(1, v)
+		l := b.LoadGF(1)
+		b.FPrint(l)
+		i := b.D2I(l)
+		b.Print(ir.W32, i)
+		g := b.D2L(b.FConst(1e12))
+		b.Print(ir.W64, g)
+		d := b.L2D(g)
+		b.FPrint(d)
+		b.Ret(ir.NoReg)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := "3.75\n3\n1000000000000\n1e+12\n"
+	if r.Output != want {
+		t.Fatalf("got %q want %q", r.Output, want)
+	}
+}
+
+func TestFloatBranch(t *testing.T) {
+	r, err := run(t, Options{Mode: Mode64}, func(b *ir.Builder) {
+		x := b.FConst(1.5)
+		y := b.FConst(2.5)
+		tBlk, fBlk := b.NewBlock(), b.NewBlock()
+		b.FBr(ir.CondLT, x, y, tBlk, fBlk)
+		b.SetBlock(tBlk)
+		b.Print(ir.W32, b.Const(ir.W32, 1))
+		b.Ret(ir.NoReg)
+		b.SetBlock(fBlk)
+		b.Print(ir.W32, b.Const(ir.W32, 0))
+		b.Ret(ir.NoReg)
+	})
+	if err != nil || strings.TrimSpace(r.Output) != "1" {
+		t.Fatalf("fbr: %q %v", r.Output, err)
+	}
+}
+
+func TestTrapAndNilArray(t *testing.T) {
+	_, err := run(t, Options{Mode: Mode64}, func(b *ir.Builder) {
+		tr := b.Fn.NewInstr(ir.OpTrap)
+		tr.Blk = b.Block()
+		b.Block().Instrs = append(b.Block().Instrs, tr)
+		b.SetBlock(nil)
+	})
+	if err != ErrTrap {
+		t.Fatalf("trap: %v", err)
+	}
+	_, err = run(t, Options{Mode: Mode64}, func(b *ir.Builder) {
+		nilRef := b.Fn.NewReg()
+		b.ConstTo(ir.W64, nilRef, 0)
+		b.Print(ir.W32, b.ArrLen(nilRef))
+		b.Ret(ir.NoReg)
+	})
+	if err != ErrNilArray {
+		t.Fatalf("nil array: %v", err)
+	}
+}
+
+func TestNegativeArraySize(t *testing.T) {
+	_, err := run(t, Options{Mode: Mode64}, func(b *ir.Builder) {
+		n := b.Const(ir.W32, -4)
+		a := b.NewArr(ir.W32, false, n)
+		b.Print(ir.W32, b.ArrLen(a))
+		b.Ret(ir.NoReg)
+	})
+	if err == nil || !strings.Contains(err.Error(), "negative") {
+		t.Fatalf("negative size: %v", err)
+	}
+}
+
+func TestZextAndNarrowStores(t *testing.T) {
+	r, err := run(t, Options{Mode: Mode64}, func(b *ir.Builder) {
+		v := b.Const(ir.W32, -1)
+		b.Print(ir.W64, b.Zext(ir.W16, v))
+		b.StoreG(ir.W8, 0, v)
+		b.Print(ir.W64, b.LoadG(ir.W8, 0)) // zero-extended byte on IA64
+		b.Ret(ir.NoReg)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Output != "65535\n255\n" {
+		t.Fatalf("got %q", r.Output)
+	}
+}
+
+func TestMode32NormalizesEverything(t *testing.T) {
+	r, err := run(t, Options{Mode: Mode32}, func(b *ir.Builder) {
+		big := b.Const(ir.W32, math.MaxInt32)
+		s := b.Mul(ir.W32, big, big)
+		b.Print(ir.W64, s) // even a 64-bit view sees the normalized value
+		b.Ret(ir.NoReg)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.TrimSpace(r.Output) != "1" { // MaxInt32^2 mod 2^32 = 1
+		t.Fatalf("got %q", r.Output)
+	}
+}

@@ -1,0 +1,359 @@
+package ir
+
+// Builder provides a convenient way to assemble IR functions, used by the
+// MiniJava lowerer, the examples, and the tests.
+type Builder struct {
+	Fn  *Func
+	cur *Block
+}
+
+// NewFunc starts a new function with the given parameters and makes its entry
+// block current.
+func NewFunc(name string, params ...Param) *Builder {
+	fn := &Func{Name: name, Params: params, NReg: len(params)}
+	b := &Builder{Fn: fn}
+	b.cur = fn.NewBlock()
+	return b
+}
+
+// Block returns the current insertion block.
+func (b *Builder) Block() *Block { return b.cur }
+
+// NewBlock creates a block without switching to it.
+func (b *Builder) NewBlock() *Block { return b.Fn.NewBlock() }
+
+// SetBlock switches the insertion point.
+func (b *Builder) SetBlock(blk *Block) { b.cur = blk }
+
+// Param returns the register holding parameter i.
+func (b *Builder) Param(i int) Reg { return Reg(i) }
+
+func (b *Builder) emit(ins *Instr) *Instr {
+	if b.cur == nil {
+		panic("ir: builder has no current block")
+	}
+	if t := b.cur.Term(); t != nil {
+		panic("ir: emitting into terminated block in " + b.Fn.Name)
+	}
+	ins.Blk = b.cur
+	b.cur.Instrs = append(b.cur.Instrs, ins)
+	return ins
+}
+
+func (b *Builder) op0(op Op, w Width) (*Instr, Reg) {
+	ins := b.Fn.NewInstr(op)
+	ins.W = w
+	ins.Dst = b.Fn.NewReg()
+	b.emit(ins)
+	return ins, ins.Dst
+}
+
+func (b *Builder) op1(op Op, w Width, s Reg) (*Instr, Reg) {
+	ins := b.Fn.NewInstr(op)
+	ins.W = w
+	ins.Dst = b.Fn.NewReg()
+	ins.Srcs[0] = s
+	ins.NSrcs = 1
+	b.emit(ins)
+	return ins, ins.Dst
+}
+
+func (b *Builder) op2(op Op, w Width, s0, s1 Reg) (*Instr, Reg) {
+	ins := b.Fn.NewInstr(op)
+	ins.W = w
+	ins.Dst = b.Fn.NewReg()
+	ins.Srcs[0], ins.Srcs[1] = s0, s1
+	ins.NSrcs = 2
+	b.emit(ins)
+	return ins, ins.Dst
+}
+
+// Const materializes a W-width integer constant.
+func (b *Builder) Const(w Width, v int64) Reg {
+	ins, d := b.op0(OpConst, w)
+	ins.Const = v
+	return d
+}
+
+// FConst materializes a float constant.
+func (b *Builder) FConst(v float64) Reg {
+	ins, d := b.op0(OpFConst, W64)
+	ins.F = v
+	return d
+}
+
+// Mov copies a register.
+func (b *Builder) Mov(w Width, s Reg) Reg { _, d := b.op1(OpMov, w, s); return d }
+
+// MovTo copies s into an existing register d.
+func (b *Builder) MovTo(w Width, d, s Reg) *Instr {
+	ins := b.Fn.NewInstr(OpMov)
+	ins.W = w
+	ins.Dst = d
+	ins.Srcs[0] = s
+	ins.NSrcs = 1
+	return b.emit(ins)
+}
+
+// FMov copies a float register.
+func (b *Builder) FMov(s Reg) Reg { _, d := b.op1(OpFMov, W64, s); return d }
+
+// Arithmetic and bitwise helpers.
+func (b *Builder) Add(w Width, x, y Reg) Reg  { _, d := b.op2(OpAdd, w, x, y); return d }
+func (b *Builder) Sub(w Width, x, y Reg) Reg  { _, d := b.op2(OpSub, w, x, y); return d }
+func (b *Builder) Mul(w Width, x, y Reg) Reg  { _, d := b.op2(OpMul, w, x, y); return d }
+func (b *Builder) Div(w Width, x, y Reg) Reg  { _, d := b.op2(OpDiv, w, x, y); return d }
+func (b *Builder) Rem(w Width, x, y Reg) Reg  { _, d := b.op2(OpRem, w, x, y); return d }
+func (b *Builder) And(w Width, x, y Reg) Reg  { _, d := b.op2(OpAnd, w, x, y); return d }
+func (b *Builder) Or(w Width, x, y Reg) Reg   { _, d := b.op2(OpOr, w, x, y); return d }
+func (b *Builder) Xor(w Width, x, y Reg) Reg  { _, d := b.op2(OpXor, w, x, y); return d }
+func (b *Builder) Not(w Width, x Reg) Reg     { _, d := b.op1(OpNot, w, x); return d }
+func (b *Builder) Neg(w Width, x Reg) Reg     { _, d := b.op1(OpNeg, w, x); return d }
+func (b *Builder) Shl(w Width, x, y Reg) Reg  { _, d := b.op2(OpShl, w, x, y); return d }
+func (b *Builder) AShr(w Width, x, y Reg) Reg { _, d := b.op2(OpAShr, w, x, y); return d }
+func (b *Builder) LShr(w Width, x, y Reg) Reg { _, d := b.op2(OpLShr, w, x, y); return d }
+
+// AddTo emits d = x op y into an existing destination register.
+func (b *Builder) OpTo(op Op, w Width, d, x, y Reg) *Instr {
+	ins := b.Fn.NewInstr(op)
+	ins.W = w
+	ins.Dst = d
+	ins.Srcs[0], ins.Srcs[1] = x, y
+	ins.NSrcs = 2
+	return b.emit(ins)
+}
+
+// ConstTo materializes a constant into an existing register.
+func (b *Builder) ConstTo(w Width, d Reg, v int64) *Instr {
+	ins := b.Fn.NewInstr(OpConst)
+	ins.W = w
+	ins.Dst = d
+	ins.Const = v
+	return b.emit(ins)
+}
+
+// LoadGTo loads global cell g into an existing register.
+func (b *Builder) LoadGTo(w Width, d Reg, g int) *Instr {
+	ins := b.Fn.NewInstr(OpLoadG)
+	ins.W = w
+	ins.Dst = d
+	ins.Const = int64(g)
+	return b.emit(ins)
+}
+
+// Op1To emits d = op s into an existing destination register.
+func (b *Builder) Op1To(op Op, w Width, d, s Reg) *Instr {
+	ins := b.Fn.NewInstr(op)
+	ins.W = w
+	ins.Dst = d
+	ins.Srcs[0] = s
+	ins.NSrcs = 1
+	return b.emit(ins)
+}
+
+// Ext emits an explicit same-register sign extension r = ext.w r.
+func (b *Builder) Ext(w Width, r Reg) *Instr {
+	ins := b.Fn.NewInstr(OpExt)
+	ins.W = w
+	ins.Dst = r
+	ins.Srcs[0] = r
+	ins.NSrcs = 1
+	return b.emit(ins)
+}
+
+// ExtTo emits d = ext.w s with distinct registers.
+func (b *Builder) ExtTo(w Width, d, s Reg) *Instr {
+	ins := b.Fn.NewInstr(OpExt)
+	ins.W = w
+	ins.Dst = d
+	ins.Srcs[0] = s
+	ins.NSrcs = 1
+	return b.emit(ins)
+}
+
+// Zext emits d = zext.w s.
+func (b *Builder) Zext(w Width, s Reg) Reg { _, d := b.op1(OpZext, w, s); return d }
+
+// Conversions.
+func (b *Builder) I2D(s Reg) Reg { _, d := b.op1(OpI2D, W32, s); return d }
+func (b *Builder) L2D(s Reg) Reg { _, d := b.op1(OpL2D, W64, s); return d }
+func (b *Builder) D2I(s Reg) Reg { _, d := b.op1(OpD2I, W32, s); return d }
+func (b *Builder) D2L(s Reg) Reg { _, d := b.op1(OpD2L, W64, s); return d }
+
+// Float arithmetic.
+func (b *Builder) FAdd(x, y Reg) Reg { _, d := b.op2(OpFAdd, W64, x, y); return d }
+func (b *Builder) FSub(x, y Reg) Reg { _, d := b.op2(OpFSub, W64, x, y); return d }
+func (b *Builder) FMul(x, y Reg) Reg { _, d := b.op2(OpFMul, W64, x, y); return d }
+func (b *Builder) FDiv(x, y Reg) Reg { _, d := b.op2(OpFDiv, W64, x, y); return d }
+func (b *Builder) FNeg(x Reg) Reg    { _, d := b.op1(OpFNeg, W64, x); return d }
+
+// FCall invokes a float builtin (sqrt, sin, cos, exp, log, fabs, pow).
+func (b *Builder) FCall(name string, args ...Reg) Reg {
+	ins := b.Fn.NewInstr(OpFCall)
+	ins.W = W64
+	ins.Dst = b.Fn.NewReg()
+	ins.Callee = name
+	ins.Args = append([]Reg(nil), args...)
+	b.emit(ins)
+	return ins.Dst
+}
+
+// Call invokes a user function. retW 0 means void (returns NoReg).
+func (b *Builder) Call(name string, retW Width, retF bool, args ...Reg) Reg {
+	ins := b.Fn.NewInstr(OpCall)
+	ins.W = retW
+	ins.Callee = name
+	ins.Args = append([]Reg(nil), args...)
+	if retW != 0 || retF {
+		ins.Dst = b.Fn.NewReg()
+	}
+	ins.Float = retF
+	b.emit(ins)
+	return ins.Dst
+}
+
+// Ret returns a value (or nothing when r == NoReg).
+func (b *Builder) Ret(r Reg) {
+	ins := b.Fn.NewInstr(OpRet)
+	if r != NoReg {
+		ins.Srcs[0] = r
+		ins.NSrcs = 1
+	}
+	b.emit(ins)
+	b.cur = nil
+}
+
+// LoadG loads global scalar cell g.
+func (b *Builder) LoadG(w Width, g int) Reg {
+	ins, d := b.op0(OpLoadG, w)
+	ins.Const = int64(g)
+	return d
+}
+
+// LoadGF loads a float from global cell g.
+func (b *Builder) LoadGF(g int) Reg {
+	ins, d := b.op0(OpLoadG, W64)
+	ins.Const = int64(g)
+	ins.Float = true
+	return d
+}
+
+// StoreG stores the low w bits of s into global cell g.
+func (b *Builder) StoreG(w Width, g int, s Reg) *Instr {
+	ins := b.Fn.NewInstr(OpStoreG)
+	ins.W = w
+	ins.Const = int64(g)
+	ins.Srcs[0] = s
+	ins.NSrcs = 1
+	return b.emit(ins)
+}
+
+// StoreGF stores a float into global cell g.
+func (b *Builder) StoreGF(g int, s Reg) *Instr {
+	ins := b.StoreG(W64, g, s)
+	ins.Float = true
+	return ins
+}
+
+// NewArr allocates an array of n elements of width w (float elements when
+// fl).
+func (b *Builder) NewArr(w Width, fl bool, n Reg) Reg {
+	ins, d := b.op1(OpNewArr, w, n)
+	ins.Float = fl
+	return d
+}
+
+// ArrLoad loads arr[idx].
+func (b *Builder) ArrLoad(w Width, fl bool, arr, idx Reg) Reg {
+	ins, d := b.op2(OpArrLoad, w, arr, idx)
+	ins.Float = fl
+	return d
+}
+
+// ArrLoadTo loads arr[idx] into an existing register.
+func (b *Builder) ArrLoadTo(w Width, fl bool, d, arr, idx Reg) *Instr {
+	ins := b.Fn.NewInstr(OpArrLoad)
+	ins.W = w
+	ins.Float = fl
+	ins.Dst = d
+	ins.Srcs[0], ins.Srcs[1] = arr, idx
+	ins.NSrcs = 2
+	return b.emit(ins)
+}
+
+// ArrStore stores val into arr[idx].
+func (b *Builder) ArrStore(w Width, fl bool, arr, idx, val Reg) *Instr {
+	ins := b.Fn.NewInstr(OpArrStore)
+	ins.W = w
+	ins.Float = fl
+	ins.Srcs[0], ins.Srcs[1], ins.Srcs[2] = arr, idx, val
+	ins.NSrcs = 3
+	return b.emit(ins)
+}
+
+// ArrLen loads the length of arr.
+func (b *Builder) ArrLen(arr Reg) Reg { _, d := b.op1(OpArrLen, W32, arr); return d }
+
+// Br ends the current block with a conditional branch and leaves no current
+// block; callers must SetBlock afterwards.
+func (b *Builder) Br(w Width, c Cond, x, y Reg, then, els *Block) {
+	ins := b.Fn.NewInstr(OpBr)
+	ins.W = w
+	ins.Cond = c
+	ins.Srcs[0], ins.Srcs[1] = x, y
+	ins.NSrcs = 2
+	blk := b.cur
+	b.emit(ins)
+	AddEdge(blk, then)
+	AddEdge(blk, els)
+	b.cur = nil
+}
+
+// FBr is the float-compare conditional branch.
+func (b *Builder) FBr(c Cond, x, y Reg, then, els *Block) {
+	ins := b.Fn.NewInstr(OpFBr)
+	ins.W = W64
+	ins.Cond = c
+	ins.Srcs[0], ins.Srcs[1] = x, y
+	ins.NSrcs = 2
+	blk := b.cur
+	b.emit(ins)
+	AddEdge(blk, then)
+	AddEdge(blk, els)
+	b.cur = nil
+}
+
+// Jmp ends the current block with an unconditional jump.
+func (b *Builder) Jmp(to *Block) {
+	ins := b.Fn.NewInstr(OpJmp)
+	blk := b.cur
+	b.emit(ins)
+	AddEdge(blk, to)
+	b.cur = nil
+}
+
+// Print emits an integer to the program output.
+func (b *Builder) Print(w Width, s Reg) *Instr {
+	ins := b.Fn.NewInstr(OpPrint)
+	ins.W = w
+	ins.Srcs[0] = s
+	ins.NSrcs = 1
+	return b.emit(ins)
+}
+
+// FPrint emits a float to the program output.
+func (b *Builder) FPrint(s Reg) *Instr {
+	ins := b.Fn.NewInstr(OpFPrint)
+	ins.W = W64
+	ins.Srcs[0] = s
+	ins.NSrcs = 1
+	return b.emit(ins)
+}
+
+// CallV invokes a void user function.
+func (b *Builder) CallV(name string, args ...Reg) {
+	ins := b.Fn.NewInstr(OpCall)
+	ins.Callee = name
+	ins.Args = append([]Reg(nil), args...)
+	b.emit(ins)
+}

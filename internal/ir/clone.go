@@ -1,0 +1,53 @@
+package ir
+
+// Clone returns a deep copy of the function. The copy shares nothing mutable
+// with the original, so one frontend result can be compiled under many
+// optimization variants.
+func (f *Func) Clone() *Func {
+	nf := &Func{
+		Name:    f.Name,
+		Params:  append([]Param(nil), f.Params...),
+		RetW:    f.RetW,
+		RetF:    f.RetF,
+		NReg:    f.NReg,
+		nextIID: f.nextIID,
+		nextBID: f.nextBID,
+	}
+	bmap := make(map[*Block]*Block, len(f.Blocks))
+	for _, b := range f.Blocks {
+		nb := &Block{ID: b.ID, Fn: nf}
+		bmap[b] = nb
+		nf.Blocks = append(nf.Blocks, nb)
+	}
+	for _, b := range f.Blocks {
+		nb := bmap[b]
+		nb.Instrs = make([]*Instr, len(b.Instrs))
+		for k, ins := range b.Instrs {
+			ci := *ins
+			ci.Blk = nb
+			if ins.Args != nil {
+				ci.Args = append([]Reg(nil), ins.Args...)
+			}
+			nb.Instrs[k] = &ci
+		}
+		nb.Succs = make([]*Block, len(b.Succs))
+		for k, s := range b.Succs {
+			nb.Succs[k] = bmap[s]
+		}
+		nb.Preds = make([]*Block, len(b.Preds))
+		for k, p := range b.Preds {
+			nb.Preds[k] = bmap[p]
+		}
+	}
+	return nf
+}
+
+// Clone deep-copies a whole program.
+func (p *Program) Clone() *Program {
+	np := NewProgram()
+	np.NGlobals = p.NGlobals
+	for _, fn := range p.Funcs {
+		np.AddFunc(fn.Clone())
+	}
+	return np
+}

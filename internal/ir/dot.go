@@ -1,0 +1,43 @@
+package ir
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Dot renders the function's control-flow graph in Graphviz DOT syntax, one
+// node per basic block with its instructions listed. Useful with
+// `sxelim -dot prog.mj | dot -Tsvg`.
+func (f *Func) Dot() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "digraph %q {\n", f.Name)
+	sb.WriteString("\tnode [shape=box, fontname=\"monospace\", fontsize=9];\n")
+	for _, b := range f.Blocks {
+		var body strings.Builder
+		fmt.Fprintf(&body, "%s:\\l", b)
+		for _, ins := range b.Instrs {
+			body.WriteString(escapeDot(ins.String()))
+			body.WriteString("\\l")
+		}
+		fmt.Fprintf(&sb, "\t%s [label=\"%s\"];\n", b, body.String())
+		for k, s := range b.Succs {
+			attr := ""
+			if t := b.Term(); t != nil && (t.Op == OpBr || t.Op == OpFBr) {
+				if k == 0 {
+					attr = " [label=\"T\"]"
+				} else {
+					attr = " [label=\"F\"]"
+				}
+			}
+			fmt.Fprintf(&sb, "\t%s -> %s%s;\n", b, s, attr)
+		}
+	}
+	sb.WriteString("}\n")
+	return sb.String()
+}
+
+func escapeDot(s string) string {
+	s = strings.ReplaceAll(s, "\\", "\\\\")
+	s = strings.ReplaceAll(s, "\"", "\\\"")
+	return s
+}

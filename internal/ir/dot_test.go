@@ -1,0 +1,35 @@
+package ir
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestDot(t *testing.T) {
+	fn := buildLoopFunc()
+	dot := fn.Dot()
+	for _, want := range []string{
+		`digraph "f"`, "b0", "b1 -> b1 [label=\"T\"]", "b1 -> b2 [label=\"F\"]",
+		"add.32", "shape=box",
+	} {
+		if !strings.Contains(dot, want) {
+			t.Errorf("dot output missing %q:\n%s", want, dot)
+		}
+	}
+	edges := 0
+	for _, line := range strings.Split(dot, "\n") {
+		if strings.HasPrefix(line, "\tb") && strings.Contains(line, " -> ") &&
+			strings.HasSuffix(line, ";") && !strings.Contains(line, "label=\"b") {
+			edges++
+		}
+	}
+	if edges != 3 { // b0->b1, b1->b1, b1->b2
+		t.Errorf("edge count %d, want 3:\n%s", edges, dot)
+	}
+}
+
+func TestDotEscaping(t *testing.T) {
+	if escapeDot(`a"b\c`) != `a\"b\\c` {
+		t.Fatalf("escape: %q", escapeDot(`a"b\c`))
+	}
+}

@@ -1,0 +1,96 @@
+package ir
+
+// Kind classifies the value category a register carries. MiniJava (like
+// Java) computes on int (32-bit) and long (64-bit) integers; sub-32-bit
+// values exist only in memory and are widened on load, so an integer
+// register is either a 32-bit or a 64-bit quantity.
+type Kind uint8
+
+// Register kinds.
+const (
+	KInt32 Kind = iota
+	KInt64
+	KFloat
+	KRef
+)
+
+// Kinds infers the kind of every register from its definitions, iterating
+// copies to a fixpoint. Well-typed frontend output gives every register a
+// single consistent kind; Mov propagates its source's kind.
+func Kinds(fn *Func) []Kind {
+	ks := make([]Kind, fn.NReg)
+	for p, prm := range fn.Params {
+		switch {
+		case prm.Ref:
+			ks[p] = KRef
+		case prm.Float:
+			ks[p] = KFloat
+		case prm.W == W64:
+			ks[p] = KInt64
+		default:
+			ks[p] = KInt32
+		}
+	}
+	// Direct kinds first, then propagate through Mov until stable.
+	movs := []*Instr{}
+	fn.ForEachInstr(func(_ *Block, ins *Instr) {
+		if !ins.HasDst() {
+			return
+		}
+		switch ins.Op {
+		case OpMov:
+			movs = append(movs, ins)
+			return
+		case OpFConst, OpFMov, OpFAdd, OpFSub, OpFMul, OpFDiv, OpFNeg,
+			OpI2D, OpL2D, OpFCall:
+			ks[ins.Dst] = KFloat
+		case OpNewArr:
+			ks[ins.Dst] = KRef
+		case OpLoadG, OpArrLoad:
+			switch {
+			case ins.Float:
+				ks[ins.Dst] = KFloat
+			case ins.W == W64:
+				ks[ins.Dst] = KInt64
+			default:
+				ks[ins.Dst] = KInt32
+			}
+		case OpCall:
+			switch {
+			case ins.Float:
+				ks[ins.Dst] = KFloat
+			case ins.W == W64:
+				ks[ins.Dst] = KInt64
+			default:
+				ks[ins.Dst] = KInt32
+			}
+		case OpD2L:
+			ks[ins.Dst] = KInt64
+		default:
+			if ins.W == W64 {
+				ks[ins.Dst] = KInt64
+			} else {
+				ks[ins.Dst] = KInt32
+			}
+		}
+	})
+	for changed := true; changed; {
+		changed = false
+		for _, m := range movs {
+			nk := ks[m.Srcs[0]]
+			// A mov's width overrides the integer kind: mov.64 widens
+			// (int-to-long), mov.32 narrows.
+			if m.W == W64 && nk == KInt32 {
+				nk = KInt64
+			}
+			if m.W == W32 && nk == KInt64 {
+				nk = KInt32
+			}
+			if ks[m.Dst] != nk && ks[m.Dst] == KInt32 {
+				ks[m.Dst] = nk
+				changed = true
+			}
+		}
+	}
+	return ks
+}

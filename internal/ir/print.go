@@ -1,0 +1,109 @@
+package ir
+
+import (
+	"fmt"
+	"strings"
+)
+
+// String renders the instruction in a compact assembly-like syntax.
+func (i *Instr) String() string {
+	var sb strings.Builder
+	if i.HasDst() {
+		fmt.Fprintf(&sb, "%s = ", i.Dst)
+	}
+	sb.WriteString(i.Op.String())
+	switch i.Op {
+	case OpExt, OpZext, OpExtDummy, OpAdd, OpSub, OpMul, OpDiv, OpRem,
+		OpAnd, OpOr, OpXor, OpNot, OpNeg, OpShl, OpAShr, OpLShr, OpMov,
+		OpLoadG, OpStoreG, OpArrLoad, OpArrStore, OpNewArr, OpPrint, OpRet:
+		if i.W != 0 {
+			fmt.Fprintf(&sb, ".%d", i.W.Bits())
+		}
+	case OpBr:
+		fmt.Fprintf(&sb, ".%d.%s", i.W.Bits(), i.Cond)
+	case OpFBr:
+		fmt.Fprintf(&sb, ".%s", i.Cond)
+	}
+	// Float memory/call variants carry a .f marker so the textual form
+	// round-trips.
+	if i.Float {
+		switch i.Op {
+		case OpLoadG, OpStoreG, OpNewArr, OpArrLoad, OpArrStore, OpCall:
+			sb.WriteString(".f")
+		}
+	}
+	switch i.Op {
+	case OpConst:
+		fmt.Fprintf(&sb, " %d", i.Const)
+	case OpFConst:
+		fmt.Fprintf(&sb, " %g", i.F)
+	case OpLoadG, OpStoreG:
+		fmt.Fprintf(&sb, " g%d", i.Const)
+	case OpCall, OpFCall:
+		fmt.Fprintf(&sb, " %s", i.Callee)
+	}
+	for k := 0; k < int(i.NSrcs); k++ {
+		fmt.Fprintf(&sb, " %s", i.Srcs[k])
+	}
+	if len(i.Args) > 0 {
+		parts := make([]string, len(i.Args))
+		for k, a := range i.Args {
+			parts[k] = a.String()
+		}
+		fmt.Fprintf(&sb, " (%s)", strings.Join(parts, ", "))
+	}
+	if i.Op == OpBr || i.Op == OpFBr {
+		if b := i.Blk; b != nil && len(b.Succs) == 2 {
+			fmt.Fprintf(&sb, " -> %s, %s", b.Succs[0], b.Succs[1])
+		}
+	}
+	if i.Op == OpJmp {
+		if b := i.Blk; b != nil && len(b.Succs) == 1 {
+			fmt.Fprintf(&sb, " -> %s", b.Succs[0])
+		}
+	}
+	return sb.String()
+}
+
+// Format renders the whole function as text, one instruction per line.
+func (f *Func) Format() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "func %s(", f.Name)
+	for k, p := range f.Params {
+		if k > 0 {
+			sb.WriteString(", ")
+		}
+		switch {
+		case p.Ref:
+			fmt.Fprintf(&sb, "r%d ref", k)
+		case p.Float:
+			fmt.Fprintf(&sb, "r%d f64", k)
+		default:
+			fmt.Fprintf(&sb, "r%d i%d", k, p.W.Bits())
+		}
+	}
+	sb.WriteString(")")
+	switch {
+	case f.RetF:
+		sb.WriteString(" f64")
+	case f.RetW != 0:
+		fmt.Fprintf(&sb, " i%d", f.RetW.Bits())
+	}
+	sb.WriteString(" {\n")
+	for _, b := range f.Blocks {
+		fmt.Fprintf(&sb, "%s:", b)
+		if len(b.Preds) > 0 {
+			preds := make([]string, len(b.Preds))
+			for k, p := range b.Preds {
+				preds[k] = p.String()
+			}
+			fmt.Fprintf(&sb, " ; preds %s", strings.Join(preds, " "))
+		}
+		sb.WriteString("\n")
+		for _, ins := range b.Instrs {
+			fmt.Fprintf(&sb, "\t%s\n", ins)
+		}
+	}
+	sb.WriteString("}\n")
+	return sb.String()
+}

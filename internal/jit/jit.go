@@ -1,0 +1,231 @@
+// Package jit drives the compiler pipeline of the paper's Figure 5 — 64-bit
+// conversion, general optimizations, and the sign extension phase — for each
+// measured algorithm variant, with per-phase timing (the paper's Table 3) and
+// the tiered profile collection of its combined interpreter and dynamic
+// compiler: a profiling run in the interpreter supplies branch statistics to
+// order determination.
+package jit
+
+import (
+	"fmt"
+	"time"
+
+	"signext/internal/extelim"
+	"signext/internal/interp"
+	"signext/internal/ir"
+	"signext/internal/opt"
+	"signext/internal/target"
+)
+
+// Variant enumerates the measured algorithm configurations, matching the rows
+// of the paper's Tables 1 and 2.
+type Variant int
+
+// The twelve variants of Tables 1 and 2.
+const (
+	Baseline       Variant = iota // disable the sign extension phase entirely
+	GenUse                        // generate before use points; no elimination
+	FirstAlgorithm                // generation after defs + backward dataflow
+	BasicUDDU                     // UD/DU elimination; no insert/order/array
+	Insert                        // + insertion only
+	Order                         // + order determination only
+	InsertOrder                   // insertion and order determination
+	Array                         // array-subscript elimination only
+	ArrayInsert                   // array + insertion
+	ArrayOrder                    // array + order determination
+	AllPDE                        // everything, PDE-style insertion
+	All                           // the new algorithm, everything enabled
+	numVariants
+)
+
+// Variants lists every variant in table order.
+var Variants = []Variant{
+	Baseline, GenUse, FirstAlgorithm, BasicUDDU, Insert, Order, InsertOrder,
+	Array, ArrayInsert, ArrayOrder, AllPDE, All,
+}
+
+var variantNames = [numVariants]string{
+	"baseline", "gen use (reference)", "first algorithm (bwd flow)",
+	"basic ud/du", "insert", "order", "insert, order", "array",
+	"array, insert", "array, order", "all, using PDE (reference)",
+	"new algorithm (all)",
+}
+
+func (v Variant) String() string { return variantNames[v] }
+
+// config maps a variant onto the elimination phase switches.
+func (v Variant) config() (useElim bool, c extelim.Config) {
+	switch v {
+	case Baseline, GenUse, FirstAlgorithm:
+		return false, c
+	case BasicUDDU:
+	case Insert:
+		c.Insert = true
+	case Order:
+		c.Order = true
+	case InsertOrder:
+		c.Insert, c.Order = true, true
+	case Array:
+		c.Array = true
+	case ArrayInsert:
+		c.Array, c.Insert = true, true
+	case ArrayOrder:
+		c.Array, c.Order = true, true
+	case AllPDE:
+		c.Array, c.Insert, c.Order, c.UsePDE = true, true, true, true
+	case All:
+		c.Array, c.Insert, c.Order = true, true, true
+	}
+	return true, c
+}
+
+// Options configures a compilation.
+type Options struct {
+	Variant     Variant
+	Machine     ir.Machine
+	MaxArrayLen int64
+	GeneralOpts bool           // Figure 5 step (2); on for all paper rows
+	Profile     interp.Profile // branch profile for order determination
+	Verify      bool           // run the IR verifier after each phase
+}
+
+// Timing is the compilation-time breakdown of the paper's Table 3.
+type Timing struct {
+	SignExt time.Duration // sign extension optimizations (all)
+	Chains  time.Duration // shared analyses: UD/DU chains + value ranges
+	Others  time.Duration // everything else (conversion, general opts, ...)
+}
+
+// Total returns the full compilation time.
+func (t Timing) Total() time.Duration { return t.SignExt + t.Chains + t.Others }
+
+// Result is a compiled program plus its statistics.
+type Result struct {
+	Prog       *ir.Program
+	Options    Options
+	Stats      extelim.Stats // summed over functions
+	Timing     Timing
+	StaticExts int // extension instructions surviving in the code
+}
+
+// Compile clones src and compiles it under the given options. src itself is
+// never modified, so one frontend result can be compiled under all variants.
+func Compile(src *ir.Program, o Options) (*Result, error) {
+	prog := src.Clone()
+	res := &Result{Prog: prog, Options: o}
+
+	check := func(phase string) error {
+		if !o.Verify {
+			return nil
+		}
+		for _, fn := range prog.Funcs {
+			if err := fn.Verify(); err != nil {
+				return fmt.Errorf("after %s: %w", phase, err)
+			}
+		}
+		return nil
+	}
+
+	// Method inlining runs first, on the 32-bit form, like the paper's
+	// intermediate-language inliner [10, 19]: it removes call boundaries so
+	// argument/result extensions become visible to the later phases.
+	t0 := time.Now()
+	if o.GeneralOpts {
+		opt.InlineProgram(prog)
+		if err := check("inlining"); err != nil {
+			return nil, err
+		}
+	}
+
+	// Step (1): conversion for a 64-bit architecture. The "gen use"
+	// reference generates at the code generation phase instead, i.e. after
+	// the general optimizations.
+	if o.Variant != GenUse {
+		for _, fn := range prog.Funcs {
+			extelim.Convert64(fn, o.Machine)
+		}
+	}
+	if err := check("conversion"); err != nil {
+		return nil, err
+	}
+
+	// Step (2): general optimizations.
+	if o.GeneralOpts {
+		for _, fn := range prog.Funcs {
+			opt.Run(fn)
+		}
+		if err := check("general optimizations"); err != nil {
+			return nil, err
+		}
+	}
+	if o.Variant == GenUse {
+		for _, fn := range prog.Funcs {
+			extelim.ConvertGenUse(fn, o.Machine)
+		}
+		if err := check("gen-use conversion"); err != nil {
+			return nil, err
+		}
+	}
+	res.Timing.Others = time.Since(t0)
+
+	// Step (3): the sign extension phase.
+	t1 := time.Now()
+	switch o.Variant {
+	case Baseline, GenUse:
+		// disabled
+	case FirstAlgorithm:
+		for _, fn := range prog.Funcs {
+			res.Stats.Eliminated += extelim.FirstAlgorithm(fn)
+		}
+	default:
+		_, c := o.Variant.config()
+		c.Machine = o.Machine
+		c.MaxArrayLen = o.MaxArrayLen
+		c.Profile = o.Profile
+		var chains time.Duration
+		for _, fn := range prog.Funcs {
+			st := extelim.Eliminate(fn, c)
+			res.Stats.Inserted += st.Inserted
+			res.Stats.Dummies += st.Dummies
+			res.Stats.Eliminated += st.Eliminated
+			chains += st.ChainTime
+		}
+		res.Timing.Chains = chains
+	}
+	res.Timing.SignExt = time.Since(t1) - res.Timing.Chains
+	if err := check("sign extension phase"); err != nil {
+		return nil, err
+	}
+
+	for _, fn := range prog.Funcs {
+		res.StaticExts += fn.CountOp(ir.OpExt)
+	}
+	res.Stats.Remaining = res.StaticExts
+	return res, nil
+}
+
+// ProfileRun executes the source (32-bit form) program in the interpreter
+// tier, collecting the branch statistics the dynamic compiler receives.
+func ProfileRun(src *ir.Program, entry string, maxSteps int64) (interp.Profile, error) {
+	res, err := interp.Run(src, entry, interp.Options{
+		Mode:     interp.Mode32,
+		Profile:  true,
+		MaxSteps: maxSteps,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return res.Profile, nil
+}
+
+// Execute runs a compiled program on the 64-bit machine model with the
+// target cost model attached, returning output, dynamic extension counts and
+// cycles.
+func Execute(res *Result, entry string) (*interp.Result, error) {
+	return interp.Run(res.Prog, entry, interp.Options{
+		Mode:        interp.Mode64,
+		Machine:     res.Options.Machine,
+		Cost:        target.CostModel(res.Options.Machine),
+		MaxArrayLen: res.Options.MaxArrayLen,
+	})
+}

@@ -1,0 +1,257 @@
+package minijava
+
+// Type is a MiniJava type.
+type Type struct {
+	K    TypeKind
+	Elem *Type // for arrays
+}
+
+// TypeKind enumerates the base types.
+type TypeKind uint8
+
+// MiniJava type kinds.
+const (
+	TVoid TypeKind = iota
+	TBool
+	TByte
+	TShort
+	TChar
+	TInt
+	TLong
+	TDouble
+	TArray
+)
+
+var typeNames = [...]string{"void", "boolean", "byte", "short", "char", "int", "long", "double", "array"}
+
+func (t *Type) String() string {
+	if t == nil {
+		return "<nil>"
+	}
+	if t.K == TArray {
+		return t.Elem.String() + "[]"
+	}
+	return typeNames[t.K]
+}
+
+// Equal reports structural type equality.
+func (t *Type) Equal(o *Type) bool {
+	if t == nil || o == nil {
+		return t == o
+	}
+	if t.K != o.K {
+		return false
+	}
+	if t.K == TArray {
+		return t.Elem.Equal(o.Elem)
+	}
+	return true
+}
+
+// IsInteger reports whether the type is an integral scalar.
+func (t *Type) IsInteger() bool {
+	switch t.K {
+	case TByte, TShort, TChar, TInt, TLong:
+		return true
+	}
+	return false
+}
+
+// IsNumeric reports whether the type participates in arithmetic.
+func (t *Type) IsNumeric() bool { return t.IsInteger() || t.K == TDouble }
+
+var (
+	tyVoid   = &Type{K: TVoid}
+	tyBool   = &Type{K: TBool}
+	tyByte   = &Type{K: TByte}
+	tyShort  = &Type{K: TShort}
+	tyChar   = &Type{K: TChar}
+	tyInt    = &Type{K: TInt}
+	tyLong   = &Type{K: TLong}
+	tyDouble = &Type{K: TDouble}
+)
+
+// Program is a parsed compilation unit.
+type ProgramAST struct {
+	Globals []*GlobalDecl
+	Funcs   []*FuncDecl
+}
+
+// GlobalDecl is a static scalar variable.
+type GlobalDecl struct {
+	Name string
+	Type *Type
+	Init Expr // optional constant initializer
+	Line int
+}
+
+// FuncDecl is a static function.
+type FuncDecl struct {
+	Name   string
+	Ret    *Type
+	Params []ParamDecl
+	Body   *BlockStmt
+	Line   int
+}
+
+// ParamDecl is one formal parameter.
+type ParamDecl struct {
+	Name string
+	Type *Type
+}
+
+// Stmt is a statement node.
+type Stmt interface{ stmt() }
+
+// Expr is an expression node.
+type Expr interface{ expr() }
+
+// Statements.
+type (
+	// BlockStmt is { ... }.
+	BlockStmt struct{ Stmts []Stmt }
+	// VarDecl declares a local, optionally initialized.
+	VarDecl struct {
+		Name string
+		Type *Type
+		Init Expr
+		Line int
+	}
+	// IfStmt is if/else.
+	IfStmt struct {
+		Cond       Expr
+		Then, Else Stmt
+	}
+	// WhileStmt is while (cond) body.
+	WhileStmt struct {
+		Cond Expr
+		Body Stmt
+	}
+	// DoWhileStmt is do body while (cond);.
+	DoWhileStmt struct {
+		Body Stmt
+		Cond Expr
+	}
+	// ForStmt is for (init; cond; post) body.
+	ForStmt struct {
+		Init, Post Stmt
+		Cond       Expr
+		Body       Stmt
+	}
+	// ReturnStmt returns an optional value.
+	ReturnStmt struct {
+		Value Expr
+		Line  int
+	}
+	// ExprStmt evaluates an expression for effect.
+	ExprStmt struct{ E Expr }
+	// BreakStmt exits the innermost loop.
+	BreakStmt struct{ Line int }
+	// ContinueStmt restarts the innermost loop.
+	ContinueStmt struct{ Line int }
+)
+
+func (*BlockStmt) stmt()    {}
+func (*VarDecl) stmt()      {}
+func (*IfStmt) stmt()       {}
+func (*WhileStmt) stmt()    {}
+func (*DoWhileStmt) stmt()  {}
+func (*ForStmt) stmt()      {}
+func (*ReturnStmt) stmt()   {}
+func (*ExprStmt) stmt()     {}
+func (*BreakStmt) stmt()    {}
+func (*ContinueStmt) stmt() {}
+
+// Expressions.
+type (
+	// IntLit is an integer literal (int unless Long; char literals carry
+	// Char and type as char).
+	IntLit struct {
+		V    int64
+		Long bool
+		Char bool
+	}
+	// FloatLit is a double literal.
+	FloatLit struct{ V float64 }
+	// BoolLit is true/false.
+	BoolLit struct{ V bool }
+	// Ident references a local, parameter or global.
+	Ident struct {
+		Name string
+		Line int
+	}
+	// Assign is lhs = rhs or a compound assignment (Op != "").
+	Assign struct {
+		LHS  Expr // Ident or Index
+		Op   string
+		RHS  Expr
+		Line int
+	}
+	// IncDec is ++x/--x/x++/x-- (value semantics of the pre/post form).
+	IncDec struct {
+		X    Expr
+		Op   string // "++" or "--"
+		Post bool
+		Line int
+	}
+	// Binary is a binary operator application.
+	Binary struct {
+		Op   string
+		X, Y Expr
+		Line int
+	}
+	// Unary is !x, ~x, -x.
+	Unary struct {
+		Op   string
+		X    Expr
+		Line int
+	}
+	// Cast is (type) x.
+	Cast struct {
+		To   *Type
+		X    Expr
+		Line int
+	}
+	// Index is a[i].
+	Index struct {
+		Arr, Idx Expr
+		Line     int
+	}
+	// Length is a.length.
+	Length struct {
+		Arr  Expr
+		Line int
+	}
+	// Call invokes a function or builtin.
+	Call struct {
+		Name string
+		Args []Expr
+		Line int
+	}
+	// NewArray is new T[n].
+	NewArray struct {
+		Elem *Type
+		Len  Expr
+		Line int
+	}
+	// Cond is c ? a : b.
+	Cond struct {
+		C, A, B Expr
+		Line    int
+	}
+)
+
+func (*IntLit) expr()   {}
+func (*FloatLit) expr() {}
+func (*BoolLit) expr()  {}
+func (*Ident) expr()    {}
+func (*Assign) expr()   {}
+func (*IncDec) expr()   {}
+func (*Binary) expr()   {}
+func (*Unary) expr()    {}
+func (*Cast) expr()     {}
+func (*Index) expr()    {}
+func (*Length) expr()   {}
+func (*Call) expr()     {}
+func (*NewArray) expr() {}
+func (*Cond) expr()     {}

@@ -1,0 +1,454 @@
+package minijava
+
+import (
+	"fmt"
+
+	"signext/internal/ir"
+)
+
+// CompileUnit is the result of lowering: the IR program in 32-bit form plus
+// the global-cell layout.
+type CompileUnit struct {
+	Prog        *ir.Program
+	GlobalCells map[string]int
+}
+
+// Compile parses and lowers MiniJava source into the signext IR.
+func Compile(src string) (*CompileUnit, error) {
+	ast, err := Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	return Lower(ast)
+}
+
+// floatBuiltins maps builtin math functions to their arity.
+var floatBuiltins = map[string]int{
+	"sqrt": 1, "sin": 1, "cos": 1, "atan": 1, "exp": 1, "log": 1,
+	"fabs": 1, "floor": 1, "pow": 2,
+}
+
+type global struct {
+	cell int
+	ty   *Type
+	init Expr
+}
+
+type local struct {
+	reg ir.Reg
+	ty  *Type
+}
+
+type lowerer struct {
+	ast     *ProgramAST
+	prog    *ir.Program
+	globals map[string]*global
+	funcs   map[string]*FuncDecl
+}
+
+// Lower translates a parsed program.
+func Lower(ast *ProgramAST) (*CompileUnit, error) {
+	lo := &lowerer{
+		ast:     ast,
+		prog:    ir.NewProgram(),
+		globals: map[string]*global{},
+		funcs:   map[string]*FuncDecl{},
+	}
+	for _, g := range ast.Globals {
+		if g.Type.K == TArray || g.Type.K == TVoid {
+			return nil, &Error{g.Line, 1, "globals must be scalar"}
+		}
+		if _, dup := lo.globals[g.Name]; dup {
+			return nil, &Error{g.Line, 1, "duplicate global " + g.Name}
+		}
+		lo.globals[g.Name] = &global{cell: len(lo.globals), ty: g.Type, init: g.Init}
+	}
+	lo.prog.NGlobals = len(lo.globals)
+	for _, f := range ast.Funcs {
+		if _, dup := lo.funcs[f.Name]; dup {
+			return nil, &Error{f.Line, 1, "duplicate function " + f.Name}
+		}
+		lo.funcs[f.Name] = f
+	}
+	if lo.funcs["main"] == nil {
+		return nil, &Error{1, 1, "no main function"}
+	}
+	for _, f := range ast.Funcs {
+		if err := lo.lowerFunc(f); err != nil {
+			return nil, err
+		}
+	}
+	cells := map[string]int{}
+	for name, g := range lo.globals {
+		cells[name] = g.cell
+	}
+	return &CompileUnit{Prog: lo.prog, GlobalCells: cells}, nil
+}
+
+// value is a typed IR register.
+type value struct {
+	reg ir.Reg
+	ty  *Type
+}
+
+type loopCtx struct {
+	brk, cont *ir.Block
+}
+
+type fnLowerer struct {
+	*lowerer
+	decl   *FuncDecl
+	b      *ir.Builder
+	scopes []map[string]local
+	loops  []loopCtx
+}
+
+func irParam(t *Type) ir.Param {
+	switch t.K {
+	case TArray:
+		return ir.Param{Ref: true}
+	case TDouble:
+		return ir.Param{Float: true, W: ir.W64}
+	case TLong:
+		return ir.Param{W: ir.W64}
+	default:
+		return ir.Param{W: ir.W32}
+	}
+}
+
+func (lo *lowerer) lowerFunc(f *FuncDecl) error {
+	params := make([]ir.Param, len(f.Params))
+	for k, p := range f.Params {
+		params[k] = irParam(p.Type)
+	}
+	b := ir.NewFunc(f.Name, params...)
+	switch f.Ret.K {
+	case TVoid:
+	case TDouble:
+		b.Fn.RetF = true
+	case TLong:
+		b.Fn.RetW = ir.W64
+	default:
+		b.Fn.RetW = ir.W32
+	}
+	fl := &fnLowerer{lowerer: lo, decl: f, b: b}
+	fl.pushScope()
+	for k, p := range f.Params {
+		if err := fl.declare(p.Name, local{ir.Reg(k), p.Type}, f.Line); err != nil {
+			return err
+		}
+	}
+	// Global initializers run at the top of main.
+	if f.Name == "main" {
+		for _, gd := range lo.ast.Globals {
+			g := lo.globals[gd.Name]
+			if gd.Init == nil {
+				continue
+			}
+			v, err := fl.eval(gd.Init)
+			if err != nil {
+				return err
+			}
+			v, err = fl.convertOrConstNarrow(v, g.ty, gd.Init, gd.Line)
+			if err != nil {
+				return err
+			}
+			fl.storeGlobal(g, v)
+		}
+	}
+	if err := fl.lowerBlock(f.Body); err != nil {
+		return err
+	}
+	if fl.b.Block() != nil {
+		if f.Ret.K == TVoid {
+			fl.b.Ret(ir.NoReg)
+		} else {
+			// Control may fall off a non-void function only on dead paths;
+			// trap if it ever actually happens.
+			t := fl.b.Fn.NewInstr(ir.OpTrap)
+			t.Blk = fl.b.Block()
+			fl.b.Block().Instrs = append(fl.b.Block().Instrs, t)
+			fl.b.SetBlock(nil)
+		}
+	}
+	lo.prog.AddFunc(b.Fn)
+	return b.Fn.Verify()
+}
+
+func (f *fnLowerer) pushScope() { f.scopes = append(f.scopes, map[string]local{}) }
+func (f *fnLowerer) popScope()  { f.scopes = f.scopes[:len(f.scopes)-1] }
+
+func (f *fnLowerer) declare(name string, l local, line int) error {
+	top := f.scopes[len(f.scopes)-1]
+	if _, dup := top[name]; dup {
+		return &Error{line, 1, "duplicate variable " + name}
+	}
+	top[name] = l
+	return nil
+}
+
+func (f *fnLowerer) lookup(name string) (local, bool) {
+	for k := len(f.scopes) - 1; k >= 0; k-- {
+		if l, ok := f.scopes[k][name]; ok {
+			return l, true
+		}
+	}
+	return local{}, false
+}
+
+func (f *fnLowerer) errf(line int, format string, args ...interface{}) error {
+	return &Error{line, 1, fmt.Sprintf("%s: %s", f.decl.Name, fmt.Sprintf(format, args...))}
+}
+
+// dead reports whether the current insertion point is unreachable.
+func (f *fnLowerer) dead() bool { return f.b.Block() == nil }
+
+func (f *fnLowerer) lowerBlock(b *BlockStmt) error {
+	f.pushScope()
+	defer f.popScope()
+	for _, s := range b.Stmts {
+		if f.dead() {
+			break // unreachable code after return/break/continue
+		}
+		if err := f.lowerStmt(s); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (f *fnLowerer) lowerStmt(s Stmt) error {
+	switch st := s.(type) {
+	case *BlockStmt:
+		return f.lowerBlock(st)
+	case *VarDecl:
+		if st.Type.K == TVoid {
+			return f.errf(st.Line, "void variable")
+		}
+		reg := f.b.Fn.NewReg()
+		if err := f.declare(st.Name, local{reg, st.Type}, st.Line); err != nil {
+			return err
+		}
+		if st.Init != nil {
+			return f.assignToReg(reg, st.Type, st.Init, st.Line)
+		}
+		// Definite zero initialization keeps the IR well defined.
+		switch st.Type.K {
+		case TDouble:
+			z := f.b.FConst(0)
+			ins := f.b.Op1To(ir.OpFMov, ir.W64, reg, z)
+			_ = ins
+		case TArray:
+			// Leave nil; use-before-init traps in the interpreter.
+			f.b.ConstTo(ir.W64, reg, 0)
+		case TLong:
+			f.b.ConstTo(ir.W64, reg, 0)
+		default:
+			f.b.ConstTo(ir.W32, reg, 0)
+		}
+		return nil
+	case *IfStmt:
+		then := f.b.Fn.NewBlock()
+		var els *ir.Block
+		join := f.b.Fn.NewBlock()
+		if st.Else != nil {
+			els = f.b.Fn.NewBlock()
+		} else {
+			els = join
+		}
+		if err := f.genCond(st.Cond, then, els); err != nil {
+			return err
+		}
+		f.b.SetBlock(then)
+		if err := f.lowerStmt(st.Then); err != nil {
+			return err
+		}
+		if !f.dead() {
+			f.b.Jmp(join)
+		}
+		if st.Else != nil {
+			f.b.SetBlock(els)
+			if err := f.lowerStmt(st.Else); err != nil {
+				return err
+			}
+			if !f.dead() {
+				f.b.Jmp(join)
+			}
+		}
+		if len(join.Preds) == 0 {
+			// Both arms returned; keep the join block valid but unreachable.
+			f.b.SetBlock(join)
+			t := f.b.Fn.NewInstr(ir.OpTrap)
+			t.Blk = join
+			join.Instrs = append(join.Instrs, t)
+			f.b.SetBlock(nil)
+			return nil
+		}
+		f.b.SetBlock(join)
+		return nil
+	case *WhileStmt:
+		head := f.b.Fn.NewBlock()
+		body := f.b.Fn.NewBlock()
+		exit := f.b.Fn.NewBlock()
+		f.b.Jmp(head)
+		f.b.SetBlock(head)
+		if err := f.genCond(st.Cond, body, exit); err != nil {
+			return err
+		}
+		f.loops = append(f.loops, loopCtx{exit, head})
+		f.b.SetBlock(body)
+		if err := f.lowerStmt(st.Body); err != nil {
+			return err
+		}
+		if !f.dead() {
+			f.b.Jmp(head)
+		}
+		f.loops = f.loops[:len(f.loops)-1]
+		f.b.SetBlock(exit)
+		return nil
+	case *DoWhileStmt:
+		body := f.b.Fn.NewBlock()
+		cond := f.b.Fn.NewBlock()
+		exit := f.b.Fn.NewBlock()
+		f.b.Jmp(body)
+		f.loops = append(f.loops, loopCtx{exit, cond})
+		f.b.SetBlock(body)
+		if err := f.lowerStmt(st.Body); err != nil {
+			return err
+		}
+		if !f.dead() {
+			f.b.Jmp(cond)
+		}
+		f.loops = f.loops[:len(f.loops)-1]
+		f.b.SetBlock(cond)
+		if len(cond.Preds) == 0 {
+			t := f.b.Fn.NewInstr(ir.OpTrap)
+			t.Blk = cond
+			cond.Instrs = append(cond.Instrs, t)
+		} else if err := f.genCond(st.Cond, body, exit); err != nil {
+			return err
+		}
+		f.b.SetBlock(exit)
+		if len(exit.Preds) == 0 {
+			t := f.b.Fn.NewInstr(ir.OpTrap)
+			t.Blk = exit
+			exit.Instrs = append(exit.Instrs, t)
+			f.b.SetBlock(nil)
+		}
+		return nil
+	case *ForStmt:
+		f.pushScope()
+		defer f.popScope()
+		if st.Init != nil {
+			if err := f.lowerStmt(st.Init); err != nil {
+				return err
+			}
+		}
+		head := f.b.Fn.NewBlock()
+		body := f.b.Fn.NewBlock()
+		post := f.b.Fn.NewBlock()
+		exit := f.b.Fn.NewBlock()
+		f.b.Jmp(head)
+		f.b.SetBlock(head)
+		if st.Cond != nil {
+			if err := f.genCond(st.Cond, body, exit); err != nil {
+				return err
+			}
+		} else {
+			f.b.Jmp(body)
+		}
+		f.loops = append(f.loops, loopCtx{exit, post})
+		f.b.SetBlock(body)
+		if err := f.lowerStmt(st.Body); err != nil {
+			return err
+		}
+		if !f.dead() {
+			f.b.Jmp(post)
+		}
+		f.loops = f.loops[:len(f.loops)-1]
+		f.b.SetBlock(post)
+		if len(post.Preds) == 0 {
+			t := f.b.Fn.NewInstr(ir.OpTrap)
+			t.Blk = post
+			post.Instrs = append(post.Instrs, t)
+			f.b.SetBlock(nil)
+		} else {
+			if st.Post != nil {
+				if err := f.lowerStmt(st.Post); err != nil {
+					return err
+				}
+			}
+			f.b.Jmp(head)
+		}
+		f.b.SetBlock(exit)
+		return nil
+	case *ReturnStmt:
+		want := f.decl.Ret
+		if want.K == TVoid {
+			if st.Value != nil {
+				return f.errf(st.Line, "void function returns a value")
+			}
+			f.b.Ret(ir.NoReg)
+			return nil
+		}
+		if st.Value == nil {
+			return f.errf(st.Line, "missing return value")
+		}
+		v, err := f.eval(st.Value)
+		if err != nil {
+			return err
+		}
+		v, err = f.convert(v, want, st.Line)
+		if err != nil {
+			return err
+		}
+		f.b.Ret(v.reg)
+		return nil
+	case *BreakStmt:
+		if len(f.loops) == 0 {
+			return f.errf(st.Line, "break outside loop")
+		}
+		f.b.Jmp(f.loops[len(f.loops)-1].brk)
+		return nil
+	case *ContinueStmt:
+		if len(f.loops) == 0 {
+			return f.errf(st.Line, "continue outside loop")
+		}
+		f.b.Jmp(f.loops[len(f.loops)-1].cont)
+		return nil
+	case *ExprStmt:
+		// Statement-level x++/x-- needs no old-value copy.
+		if inc, ok := st.E.(*IncDec); ok && inc.Post {
+			pre := *inc
+			pre.Post = false
+			_, err := f.lowerIncDec(&pre)
+			return err
+		}
+		_, err := f.evalMaybeVoid(st.E)
+		return err
+	}
+	return fmt.Errorf("minijava: unhandled statement %T", s)
+}
+
+// widthOf maps a scalar type to its IR width.
+func widthOf(t *Type) ir.Width {
+	switch t.K {
+	case TBool, TByte:
+		return ir.W8
+	case TShort, TChar:
+		return ir.W16
+	case TLong:
+		return ir.W64
+	default:
+		return ir.W32
+	}
+}
+
+// opWidth is the computation width of a numeric type (int ops for everything
+// below long).
+func opWidth(t *Type) ir.Width {
+	if t.K == TLong {
+		return ir.W64
+	}
+	return ir.W32
+}

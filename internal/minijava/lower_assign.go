@@ -1,0 +1,448 @@
+package minijava
+
+import "signext/internal/ir"
+
+// assignToReg lowers "target = expr" for a local variable, emitting the
+// computing instruction directly into the variable's register whenever
+// possible — matching the variable-oriented IR style of the paper's JIT, so
+// every definition of a source variable writes the same register.
+func (f *fnLowerer) assignToReg(reg ir.Reg, ty *Type, e Expr, line int) error {
+	// Constant initializers materialize straight into the variable.
+	if lit, ok := e.(*IntLit); ok && (ty.K == TInt || ty.K == TLong) {
+		w := opWidth(ty)
+		v := lit.V
+		if ty.K == TInt {
+			v = ir.W32.SignExt(v)
+		}
+		f.b.ConstTo(w, reg, v)
+		return nil
+	}
+	// Fast path: a binary op assignable without conversion computes straight
+	// into the target register.
+	if ty.K == TInt || ty.K == TLong {
+		if bin, ok := e.(*Binary); ok && !isRelational(bin.Op) && bin.Op != "&&" && bin.Op != "||" {
+			xv, err := f.eval(bin.X)
+			if err != nil {
+				return err
+			}
+			yv, err := f.eval(bin.Y)
+			if err != nil {
+				return err
+			}
+			xp, yp := promoteUnary(xv), promoteUnary(yv)
+			sameType := xp.ty.K == ty.K && yp.ty.K == ty.K
+			if bin.Op == "<<" || bin.Op == ">>" || bin.Op == ">>>" {
+				sameType = xp.ty.K == ty.K && yp.ty.IsInteger()
+			}
+			if sameType {
+				_, err = f.applyBinary(bin.Op, xv, yv, reg, line)
+				return err
+			}
+			// Type mismatch: fall through via a temporary.
+			v, err := f.applyBinary(bin.Op, xv, yv, ir.NoReg, line)
+			if err != nil {
+				return err
+			}
+			v, err = f.convert(v, ty, line)
+			if err != nil {
+				return err
+			}
+			f.copyInto(reg, v)
+			return nil
+		}
+	}
+	// Element load straight into the target register.
+	if ix, ok := e.(*Index); ok {
+		arr, idx, err := f.evalIndex(ix)
+		if err != nil {
+			return err
+		}
+		elem := arr.ty.Elem
+		if elem.Equal(ty) || (elem.K != TDouble && elem.K != TLong && ty.K == TInt && elem.K != TChar) {
+			fl := elem.K == TDouble
+			w := widthOf(elem)
+			if fl {
+				w = ir.W64
+			}
+			f.b.ArrLoadTo(w, fl, reg, arr.reg, idx.reg)
+			if elem.K == TChar {
+				f.b.Op1To(ir.OpZext, ir.W16, reg, reg)
+			}
+			return nil
+		}
+	}
+	v, err := f.eval(e)
+	if err != nil {
+		return err
+	}
+	v, err = f.convertOrConstNarrow(v, ty, e, line)
+	if err != nil {
+		return err
+	}
+	if v.reg == reg {
+		return nil
+	}
+	f.copyInto(reg, v)
+	f.renarrow(reg, ty)
+	return nil
+}
+
+// convertOrConstNarrow applies an implicit conversion, additionally allowing
+// Java's constant narrowing: an int literal that fits a byte/short/char
+// target converts implicitly.
+func (f *fnLowerer) convertOrConstNarrow(v value, ty *Type, e Expr, line int) (value, error) {
+	cv, err := f.convert(v, ty, line)
+	if err == nil {
+		return cv, nil
+	}
+	if val, ok := constIntValue(e); ok {
+		fits := false
+		switch ty.K {
+		case TByte:
+			fits = val >= -128 && val <= 127
+		case TShort:
+			fits = val >= -32768 && val <= 32767
+		case TChar:
+			fits = val >= 0 && val <= 65535
+		}
+		if fits {
+			return f.cast(v, ty, line)
+		}
+	}
+	return value{}, err
+}
+
+// constIntValue recognizes int literal expressions, including a negation.
+func constIntValue(e Expr) (int64, bool) {
+	switch x := e.(type) {
+	case *IntLit:
+		if !x.Long {
+			return x.V, true
+		}
+	case *Unary:
+		if x.Op == "-" {
+			if v, ok := constIntValue(x.X); ok {
+				return -v, true
+			}
+		}
+	}
+	return 0, false
+}
+
+// lowerAssign handles =, += and friends for locals, globals and elements.
+func (f *fnLowerer) lowerAssign(x *Assign) (value, error) {
+	switch lhs := x.LHS.(type) {
+	case *Ident:
+		if l, ok := f.lookup(lhs.Name); ok {
+			if x.Op == "" {
+				if err := f.assignToReg(l.reg, l.ty, x.RHS, x.Line); err != nil {
+					return value{}, err
+				}
+				return value{l.reg, l.ty}, nil
+			}
+			// Compound: a op= b  ==  a = (T)(a op b).
+			rv, err := f.eval(x.RHS)
+			if err != nil {
+				return value{}, err
+			}
+			// int/long compute straight into the variable's register (the
+			// bytecode iinc pattern) when no narrowing is involved.
+			if ok, err := f.compoundInPlace(l, rv, x.Op, x.Line); ok || err != nil {
+				return value{l.reg, l.ty}, err
+			}
+			return f.compound(value{l.reg, l.ty}, rv, x.Op, x.Line, func(v value) {
+				f.copyInto(l.reg, v)
+				f.renarrow(l.reg, l.ty)
+			})
+		}
+		if g, ok := f.globals[lhs.Name]; ok {
+			var rv value
+			var err error
+			if x.Op == "" {
+				rv, err = f.eval(x.RHS)
+				if err != nil {
+					return value{}, err
+				}
+				rv, err = f.convert(rv, g.ty, x.Line)
+				if err != nil {
+					return value{}, err
+				}
+			} else {
+				cur := f.loadGlobal(g)
+				r2, err2 := f.eval(x.RHS)
+				if err2 != nil {
+					return value{}, err2
+				}
+				rv, err = f.applyBinary(x.Op, cur, r2, ir.NoReg, x.Line)
+				if err != nil {
+					return value{}, err
+				}
+				rv, err = f.narrowTo(rv, g.ty, x.Line)
+				if err != nil {
+					return value{}, err
+				}
+			}
+			f.storeGlobal(g, rv)
+			return rv, nil
+		}
+		return value{}, f.errf(x.Line, "undefined variable %s", lhs.Name)
+	case *Index:
+		arr, idx, err := f.evalIndex(lhs)
+		if err != nil {
+			return value{}, err
+		}
+		elem := arr.ty.Elem
+		var rv value
+		if x.Op == "" {
+			rv, err = f.eval(x.RHS)
+			if err != nil {
+				return value{}, err
+			}
+			rv, err = f.elemAssignable(rv, elem, x.Line)
+			if err != nil {
+				return value{}, err
+			}
+		} else {
+			cur := f.loadElem(arr, idx)
+			r2, err2 := f.eval(x.RHS)
+			if err2 != nil {
+				return value{}, err2
+			}
+			rv, err = f.applyBinary(x.Op, cur, r2, ir.NoReg, x.Line)
+			if err != nil {
+				return value{}, err
+			}
+			rv, err = f.elemAssignable(rv, elem, x.Line)
+			if err != nil {
+				return value{}, err
+			}
+		}
+		fl := elem.K == TDouble
+		w := widthOf(elem)
+		if fl {
+			w = ir.W64
+		}
+		f.b.ArrStore(w, fl, arr.reg, idx.reg, rv.reg)
+		return rv, nil
+	}
+	return value{}, f.errf(x.Line, "bad assignment target")
+}
+
+// compoundInPlace emits "a op= b" directly into a's register when a is an
+// int or long local and the promoted result type equals a's type — producing
+// the same-variable definitions ("i = i + 1") the paper's analyses are built
+// around. Returns ok=false when the general path must run instead.
+func (f *fnLowerer) compoundInPlace(l local, rv value, op string, line int) (bool, error) {
+	if l.ty.K != TInt && l.ty.K != TLong {
+		return false, nil
+	}
+	rp := promoteUnary(rv)
+	if rp.ty.K == TDouble {
+		return false, nil
+	}
+	if op == "<<" || op == ">>" || op == ">>>" {
+		if !rp.ty.IsInteger() {
+			return false, nil
+		}
+		_, err := f.applyBinary(op, value{l.reg, l.ty}, rv, l.reg, line)
+		return true, err
+	}
+	common := TInt
+	if l.ty.K == TLong || rp.ty.K == TLong {
+		common = TLong
+	}
+	if common != l.ty.K {
+		return false, nil // would narrow; take the cast path
+	}
+	_, err := f.applyBinary(op, value{l.reg, l.ty}, rv, l.reg, line)
+	return true, err
+}
+
+// compound finishes a compound assignment: apply the op, narrow back to the
+// target type, store via the callback, and return the stored value.
+func (f *fnLowerer) compound(cur, rhs value, op string, line int, store func(value)) (value, error) {
+	rv, err := f.applyBinary(op, cur, rhs, ir.NoReg, line)
+	if err != nil {
+		return value{}, err
+	}
+	rv, err = f.narrowTo(rv, cur.ty, line)
+	if err != nil {
+		return value{}, err
+	}
+	store(rv)
+	return value{rv.reg, cur.ty}, nil
+}
+
+// narrowTo converts a computed value back to the target's declared type
+// (Java compound-assignment semantics include an implicit cast).
+func (f *fnLowerer) narrowTo(v value, ty *Type, line int) (value, error) {
+	switch ty.K {
+	case TByte, TShort, TChar, TInt, TLong, TDouble:
+		return f.cast(v, ty, line)
+	}
+	return f.convert(v, ty, line)
+}
+
+// renarrow re-establishes a sub-int local's width after a copy (the cast
+// already happened; locals of type byte/short get a same-register extension
+// so their register always holds a valid int).
+func (f *fnLowerer) renarrow(reg ir.Reg, ty *Type) {
+	switch ty.K {
+	case TByte, TShort:
+		f.b.Ext(widthOf(ty), reg)
+	case TChar:
+		f.b.Op1To(ir.OpZext, ir.W16, reg, reg)
+	}
+}
+
+// elemAssignable converts a value for storage into an element of type elem:
+// widening conversions apply; int expressions store into narrow arrays by
+// truncation (the store writes only the low bits).
+func (f *fnLowerer) elemAssignable(v value, elem *Type, line int) (value, error) {
+	v = promoteUnary(v)
+	switch elem.K {
+	case TByte, TShort, TChar:
+		if v.ty.K == TInt {
+			return v, nil // the store truncates
+		}
+	case TBool:
+		if v.ty.K == TBool {
+			return v, nil
+		}
+	}
+	return f.convert(v, elem, line)
+}
+
+// lowerIncDec handles ++/--.
+func (f *fnLowerer) lowerIncDec(x *IncDec) (value, error) {
+	op := "+"
+	if x.Op == "--" {
+		op = "-"
+	}
+	switch lhs := x.X.(type) {
+	case *Ident:
+		if l, ok := f.lookup(lhs.Name); ok {
+			if !l.ty.IsNumeric() {
+				return value{}, f.errf(x.Line, "++/-- on %s", l.ty)
+			}
+			var old value
+			if x.Post {
+				if l.ty.K == TDouble {
+					old = value{f.b.FMov(l.reg), tyDouble}
+				} else {
+					old = value{f.b.Mov(opWidth(l.ty), l.reg), promoteUnary(value{l.reg, l.ty}).ty}
+				}
+			}
+			one := value{f.b.Const(opWidth(l.ty), 1), promoteUnary(value{l.reg, l.ty}).ty}
+			if l.ty.K == TLong {
+				one.ty = tyLong
+			}
+			if l.ty.K == TDouble {
+				one = value{f.b.FConst(1), tyDouble}
+			}
+			var nv value
+			ok, err := f.compoundInPlace(l, one, op, x.Line)
+			if err != nil {
+				return value{}, err
+			}
+			if ok {
+				nv = value{l.reg, l.ty}
+			} else {
+				nv, err = f.compound(value{l.reg, l.ty}, one, op, x.Line, func(v value) {
+					f.copyInto(l.reg, v)
+					f.renarrow(l.reg, l.ty)
+				})
+				if err != nil {
+					return value{}, err
+				}
+			}
+			if x.Post {
+				return old, nil
+			}
+			return nv, nil
+		}
+		// Globals: rewrite as compound assignment.
+		a := &Assign{LHS: lhs, Op: op, RHS: &IntLit{V: 1}, Line: x.Line}
+		return f.lowerAssign(a)
+	case *Index:
+		a := &Assign{LHS: lhs, Op: op, RHS: &IntLit{V: 1}, Line: x.Line}
+		return f.lowerAssign(a)
+	}
+	return value{}, f.errf(x.Line, "++/-- target must be a variable or element")
+}
+
+// lowerCall handles builtins (print, math) and user calls.
+func (f *fnLowerer) lowerCall(x *Call) (value, error) {
+	if x.Name == "print" || x.Name == "println" {
+		if len(x.Args) != 1 {
+			return value{}, f.errf(x.Line, "print takes one argument")
+		}
+		v, err := f.eval(x.Args[0])
+		if err != nil {
+			return value{}, err
+		}
+		v = promoteUnary(v)
+		switch v.ty.K {
+		case TDouble:
+			f.b.FPrint(v.reg)
+		case TLong:
+			f.b.Print(ir.W64, v.reg)
+		case TInt, TBool:
+			f.b.Print(ir.W32, v.reg)
+		default:
+			return value{}, f.errf(x.Line, "cannot print %s", v.ty)
+		}
+		return value{ir.NoReg, tyVoid}, nil
+	}
+	if n, ok := floatBuiltins[x.Name]; ok {
+		if len(x.Args) != n {
+			return value{}, f.errf(x.Line, "%s takes %d argument(s)", x.Name, n)
+		}
+		args := make([]ir.Reg, n)
+		for k, a := range x.Args {
+			v, err := f.eval(a)
+			if err != nil {
+				return value{}, err
+			}
+			v, err = f.convert(v, tyDouble, x.Line)
+			if err != nil {
+				return value{}, err
+			}
+			args[k] = v.reg
+		}
+		return value{f.b.FCall(x.Name, args...), tyDouble}, nil
+	}
+	decl := f.funcs[x.Name]
+	if decl == nil {
+		return value{}, f.errf(x.Line, "undefined function %s", x.Name)
+	}
+	if len(x.Args) != len(decl.Params) {
+		return value{}, f.errf(x.Line, "%s takes %d argument(s), got %d",
+			x.Name, len(decl.Params), len(x.Args))
+	}
+	args := make([]ir.Reg, len(x.Args))
+	for k, a := range x.Args {
+		v, err := f.eval(a)
+		if err != nil {
+			return value{}, err
+		}
+		v, err = f.convert(v, decl.Params[k].Type, x.Line)
+		if err != nil {
+			return value{}, err
+		}
+		args[k] = v.reg
+	}
+	switch decl.Ret.K {
+	case TVoid:
+		f.b.CallV(x.Name, args...)
+		return value{ir.NoReg, tyVoid}, nil
+	case TDouble:
+		return value{f.b.Call(x.Name, 0, true, args...), tyDouble}, nil
+	case TLong:
+		return value{f.b.Call(x.Name, ir.W64, false, args...), tyLong}, nil
+	case TArray:
+		return value{}, f.errf(x.Line, "array returns are not supported")
+	default:
+		return value{f.b.Call(x.Name, ir.W32, false, args...), decl.Ret}, nil
+	}
+}

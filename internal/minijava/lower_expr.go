@@ -1,0 +1,596 @@
+package minijava
+
+import (
+	"signext/internal/ir"
+)
+
+// eval lowers an expression, producing a typed value. Boolean expressions in
+// value position are materialized as 0/1 ints of type boolean.
+func (f *fnLowerer) eval(e Expr) (value, error) {
+	v, err := f.evalMaybeVoid(e)
+	if err != nil {
+		return value{}, err
+	}
+	if v.ty.K == TVoid {
+		return value{}, f.errf(lineOf(e), "void value used")
+	}
+	return v, nil
+}
+
+func lineOf(e Expr) int {
+	switch x := e.(type) {
+	case *Ident:
+		return x.Line
+	case *Assign:
+		return x.Line
+	case *Binary:
+		return x.Line
+	case *Unary:
+		return x.Line
+	case *Cast:
+		return x.Line
+	case *Index:
+		return x.Line
+	case *Length:
+		return x.Line
+	case *Call:
+		return x.Line
+	case *NewArray:
+		return x.Line
+	case *Cond:
+		return x.Line
+	case *IncDec:
+		return x.Line
+	}
+	return 0
+}
+
+func (f *fnLowerer) evalMaybeVoid(e Expr) (value, error) {
+	switch x := e.(type) {
+	case *IntLit:
+		if x.Long {
+			return value{f.b.Const(ir.W64, x.V), tyLong}, nil
+		}
+		if x.Char {
+			return value{f.b.Const(ir.W32, ir.W16.ZeroExt(x.V)), tyChar}, nil
+		}
+		return value{f.b.Const(ir.W32, ir.W32.SignExt(x.V)), tyInt}, nil
+	case *FloatLit:
+		return value{f.b.FConst(x.V), tyDouble}, nil
+	case *BoolLit:
+		v := int64(0)
+		if x.V {
+			v = 1
+		}
+		return value{f.b.Const(ir.W32, v), tyBool}, nil
+	case *Ident:
+		if l, ok := f.lookup(x.Name); ok {
+			return value{l.reg, l.ty}, nil
+		}
+		if g, ok := f.globals[x.Name]; ok {
+			return f.loadGlobal(g), nil
+		}
+		return value{}, f.errf(x.Line, "undefined variable %s", x.Name)
+	case *Assign:
+		return f.lowerAssign(x)
+	case *IncDec:
+		return f.lowerIncDec(x)
+	case *Binary:
+		return f.lowerBinary(x)
+	case *Unary:
+		return f.lowerUnary(x)
+	case *Cast:
+		v, err := f.eval(x.X)
+		if err != nil {
+			return value{}, err
+		}
+		return f.cast(v, x.To, x.Line)
+	case *Index:
+		arr, idx, err := f.evalIndex(x)
+		if err != nil {
+			return value{}, err
+		}
+		return f.loadElem(arr, idx), nil
+	case *Length:
+		arr, err := f.eval(x.Arr)
+		if err != nil {
+			return value{}, err
+		}
+		if arr.ty.K != TArray {
+			return value{}, f.errf(x.Line, ".length on non-array %s", arr.ty)
+		}
+		return value{f.b.ArrLen(arr.reg), tyInt}, nil
+	case *Call:
+		return f.lowerCall(x)
+	case *NewArray:
+		n, err := f.eval(x.Len)
+		if err != nil {
+			return value{}, err
+		}
+		n, err = f.convert(n, tyInt, x.Line)
+		if err != nil {
+			return value{}, err
+		}
+		w := widthOf(x.Elem)
+		fl := x.Elem.K == TDouble
+		if fl {
+			w = ir.W64
+		}
+		return value{f.b.NewArr(w, fl, n.reg), &Type{K: TArray, Elem: x.Elem}}, nil
+	case *Cond:
+		return f.lowerTernary(x)
+	}
+	return value{}, f.errf(lineOf(e), "unhandled expression %T", e)
+}
+
+func (f *fnLowerer) loadGlobal(g *global) value {
+	switch g.ty.K {
+	case TDouble:
+		return value{f.b.LoadGF(g.cell), tyDouble}
+	case TLong:
+		return value{f.b.LoadG(ir.W64, g.cell), tyLong}
+	case TChar:
+		r := f.b.LoadG(ir.W16, g.cell)
+		f.b.Op1To(ir.OpZext, ir.W16, r, r)
+		return value{r, tyChar}
+	default:
+		return value{f.b.LoadG(widthOf(g.ty), g.cell), g.ty}
+	}
+}
+
+func (f *fnLowerer) storeGlobal(g *global, v value) {
+	if g.ty.K == TDouble {
+		f.b.StoreGF(g.cell, v.reg)
+		return
+	}
+	f.b.StoreG(widthOf(g.ty), g.cell, v.reg)
+}
+
+// evalIndex evaluates an indexing expression's array and subscript.
+func (f *fnLowerer) evalIndex(x *Index) (value, value, error) {
+	arr, err := f.eval(x.Arr)
+	if err != nil {
+		return value{}, value{}, err
+	}
+	if arr.ty.K != TArray {
+		return value{}, value{}, f.errf(x.Line, "indexing non-array %s", arr.ty)
+	}
+	idx, err := f.eval(x.Idx)
+	if err != nil {
+		return value{}, value{}, err
+	}
+	idx, err = f.convert(idx, tyInt, x.Line)
+	if err != nil {
+		return value{}, value{}, err
+	}
+	return arr, idx, nil
+}
+
+// loadElem emits an element load, widening to the element's value type.
+func (f *fnLowerer) loadElem(arr, idx value) value {
+	elem := arr.ty.Elem
+	fl := elem.K == TDouble
+	w := widthOf(elem)
+	if fl {
+		w = ir.W64
+	}
+	r := f.b.ArrLoad(w, fl, arr.reg, idx.reg)
+	if elem.K == TChar {
+		// char widens unsigned.
+		f.b.Op1To(ir.OpZext, ir.W16, r, r)
+	}
+	return value{r, elem}
+}
+
+// promoteUnary applies Java's unary numeric promotion: byte/short/char
+// become int (the register already holds the widened value).
+func promoteUnary(v value) value {
+	switch v.ty.K {
+	case TByte, TShort, TChar:
+		return value{v.reg, tyInt}
+	}
+	return v
+}
+
+// promoteBinary applies binary numeric promotion and returns both operands
+// converted to the common type.
+func (f *fnLowerer) promoteBinary(x, y value, line int) (value, value, *Type, error) {
+	x, y = promoteUnary(x), promoteUnary(y)
+	var common *Type
+	switch {
+	case x.ty.K == TDouble || y.ty.K == TDouble:
+		common = tyDouble
+	case x.ty.K == TLong || y.ty.K == TLong:
+		common = tyLong
+	default:
+		common = tyInt
+	}
+	var err error
+	if x, err = f.convert(x, common, line); err != nil {
+		return x, y, nil, err
+	}
+	if y, err = f.convert(y, common, line); err != nil {
+		return x, y, nil, err
+	}
+	return x, y, common, nil
+}
+
+// convert applies an implicit (widening) conversion; it rejects narrowing.
+func (f *fnLowerer) convert(v value, to *Type, line int) (value, error) {
+	if v.ty.Equal(to) {
+		return v, nil
+	}
+	v = promoteUnary(v)
+	from := v.ty
+	switch {
+	case from.Equal(to):
+		return v, nil
+	case from.K == TInt && to.K == TInt:
+		return v, nil
+	case from.K == TInt && to.K == TLong:
+		r := f.b.Mov(ir.W64, v.reg)
+		return value{r, tyLong}, nil
+	case from.K == TInt && to.K == TDouble:
+		return value{f.b.I2D(v.reg), tyDouble}, nil
+	case from.K == TLong && to.K == TDouble:
+		return value{f.b.L2D(v.reg), tyDouble}, nil
+	case from.K == TBool && to.K == TBool:
+		return v, nil
+	}
+	return value{}, f.errf(line, "cannot implicitly convert %s to %s", from, to)
+}
+
+// cast applies an explicit conversion. Narrowing integer casts lower to the
+// canonical copy + same-register extension so they participate in the
+// elimination phase exactly like compiler-generated extensions.
+func (f *fnLowerer) cast(v value, to *Type, line int) (value, error) {
+	v = promoteUnary(v)
+	from := v.ty
+	if from.Equal(to) {
+		return v, nil
+	}
+	if from.K == TArray || to.K == TArray || from.K == TBool || to.K == TBool {
+		return value{}, f.errf(line, "cannot cast %s to %s", from, to)
+	}
+	switch to.K {
+	case TDouble:
+		return f.convert(v, tyDouble, line)
+	case TLong:
+		if from.K == TDouble {
+			return value{f.b.D2L(v.reg), tyLong}, nil
+		}
+		return f.convert(v, tyLong, line)
+	case TInt:
+		switch from.K {
+		case TDouble:
+			return value{f.b.D2I(v.reg), tyInt}, nil
+		case TLong:
+			t := f.b.Mov(ir.W32, v.reg)
+			f.b.Ext(ir.W32, t)
+			return value{t, tyInt}, nil
+		default:
+			return value{v.reg, tyInt}, nil
+		}
+	case TByte, TShort, TChar:
+		// Narrow via int first.
+		iv, err := f.cast(v, tyInt, line)
+		if err != nil {
+			return value{}, err
+		}
+		t := f.b.Mov(ir.W32, iv.reg)
+		if to.K == TChar {
+			f.b.Op1To(ir.OpZext, ir.W16, t, t)
+		} else {
+			f.b.Ext(widthOf(to), t)
+		}
+		return value{t, to}, nil
+	}
+	return value{}, f.errf(line, "cannot cast %s to %s", from, to)
+}
+
+// isRelational reports comparison operators.
+func isRelational(op string) bool {
+	switch op {
+	case "==", "!=", "<", "<=", ">", ">=":
+		return true
+	}
+	return false
+}
+
+var relCond = map[string]ir.Cond{
+	"==": ir.CondEQ, "!=": ir.CondNE, "<": ir.CondLT, "<=": ir.CondLE,
+	">": ir.CondGT, ">=": ir.CondGE,
+}
+
+func (f *fnLowerer) lowerBinary(x *Binary) (value, error) {
+	if x.Op == "&&" || x.Op == "||" || isRelational(x.Op) {
+		return f.materializeBool(x)
+	}
+	xv, err := f.eval(x.X)
+	if err != nil {
+		return value{}, err
+	}
+	yv, err := f.eval(x.Y)
+	if err != nil {
+		return value{}, err
+	}
+	return f.applyBinary(x.Op, xv, yv, ir.NoReg, x.Line)
+}
+
+// applyBinary emits the operation, optionally into a caller-provided
+// destination register (dst != NoReg), returning the result.
+func (f *fnLowerer) applyBinary(op string, xv, yv value, dst ir.Reg, line int) (value, error) {
+	// Boolean bitwise ops (&, |, ^ on booleans) work on 0/1 ints.
+	if xv.ty.K == TBool && yv.ty.K == TBool && (op == "&" || op == "|" || op == "^") {
+		o := map[string]ir.Op{"&": ir.OpAnd, "|": ir.OpOr, "^": ir.OpXor}[op]
+		if dst == ir.NoReg {
+			dst = f.b.Fn.NewReg()
+		}
+		f.b.OpTo(o, ir.W32, dst, xv.reg, yv.reg)
+		return value{dst, tyBool}, nil
+	}
+	// Shifts promote each operand separately (Java: the shift count is not
+	// part of binary promotion).
+	if op == "<<" || op == ">>" || op == ">>>" {
+		xv = promoteUnary(xv)
+		yv = promoteUnary(yv)
+		if !xv.ty.IsInteger() || !yv.ty.IsInteger() {
+			return value{}, f.errf(line, "shift on non-integer")
+		}
+		w := opWidth(xv.ty)
+		var o ir.Op
+		switch op {
+		case "<<":
+			o = ir.OpShl
+		case ">>":
+			o = ir.OpAShr
+		default:
+			o = ir.OpLShr
+		}
+		if dst == ir.NoReg {
+			dst = f.b.Fn.NewReg()
+		}
+		f.b.OpTo(o, w, dst, xv.reg, yv.reg)
+		return value{dst, xv.ty}, nil
+	}
+	xv2, yv2, common, err := f.promoteBinary(xv, yv, line)
+	if err != nil {
+		return value{}, err
+	}
+	if !common.IsNumeric() {
+		return value{}, f.errf(line, "arithmetic on %s", common)
+	}
+	if common.K == TDouble {
+		var o ir.Op
+		switch op {
+		case "+":
+			o = ir.OpFAdd
+		case "-":
+			o = ir.OpFSub
+		case "*":
+			o = ir.OpFMul
+		case "/":
+			o = ir.OpFDiv
+		default:
+			return value{}, f.errf(line, "operator %q not defined on double", op)
+		}
+		if dst == ir.NoReg {
+			dst = f.b.Fn.NewReg()
+		}
+		f.b.OpTo(o, ir.W64, dst, xv2.reg, yv2.reg)
+		return value{dst, tyDouble}, nil
+	}
+	var o ir.Op
+	switch op {
+	case "+":
+		o = ir.OpAdd
+	case "-":
+		o = ir.OpSub
+	case "*":
+		o = ir.OpMul
+	case "/":
+		o = ir.OpDiv
+	case "%":
+		o = ir.OpRem
+	case "&":
+		o = ir.OpAnd
+	case "|":
+		o = ir.OpOr
+	case "^":
+		o = ir.OpXor
+	default:
+		return value{}, f.errf(line, "unknown operator %q", op)
+	}
+	if dst == ir.NoReg {
+		dst = f.b.Fn.NewReg()
+	}
+	f.b.OpTo(o, opWidth(common), dst, xv2.reg, yv2.reg)
+	return value{dst, common}, nil
+}
+
+func (f *fnLowerer) lowerUnary(x *Unary) (value, error) {
+	if x.Op == "!" {
+		return f.materializeBool(x)
+	}
+	v, err := f.eval(x.X)
+	if err != nil {
+		return value{}, err
+	}
+	v = promoteUnary(v)
+	switch x.Op {
+	case "-":
+		if v.ty.K == TDouble {
+			return value{f.b.FNeg(v.reg), tyDouble}, nil
+		}
+		if !v.ty.IsInteger() {
+			return value{}, f.errf(x.Line, "negating %s", v.ty)
+		}
+		return value{f.b.Neg(opWidth(v.ty), v.reg), v.ty}, nil
+	case "~":
+		if !v.ty.IsInteger() {
+			return value{}, f.errf(x.Line, "~ on %s", v.ty)
+		}
+		return value{f.b.Not(opWidth(v.ty), v.reg), v.ty}, nil
+	}
+	return value{}, f.errf(x.Line, "unknown unary %q", x.Op)
+}
+
+// materializeBool lowers a boolean-valued expression to a 0/1 int register.
+func (f *fnLowerer) materializeBool(e Expr) (value, error) {
+	r := f.b.Fn.NewReg()
+	tBlk := f.b.Fn.NewBlock()
+	fBlk := f.b.Fn.NewBlock()
+	join := f.b.Fn.NewBlock()
+	if err := f.genCond(e, tBlk, fBlk); err != nil {
+		return value{}, err
+	}
+	f.b.SetBlock(tBlk)
+	f.b.ConstTo(ir.W32, r, 1)
+	f.b.Jmp(join)
+	f.b.SetBlock(fBlk)
+	f.b.ConstTo(ir.W32, r, 0)
+	f.b.Jmp(join)
+	f.b.SetBlock(join)
+	return value{r, tyBool}, nil
+}
+
+// genCond lowers a conditional expression as control flow into then/else
+// blocks. The current block is consumed.
+func (f *fnLowerer) genCond(e Expr, then, els *ir.Block) error {
+	switch x := e.(type) {
+	case *BoolLit:
+		if x.V {
+			f.b.Jmp(then)
+		} else {
+			f.b.Jmp(els)
+		}
+		return nil
+	case *Unary:
+		if x.Op == "!" {
+			return f.genCond(x.X, els, then)
+		}
+	case *Binary:
+		switch x.Op {
+		case "&&":
+			mid := f.b.Fn.NewBlock()
+			if err := f.genCond(x.X, mid, els); err != nil {
+				return err
+			}
+			f.b.SetBlock(mid)
+			return f.genCond(x.Y, then, els)
+		case "||":
+			mid := f.b.Fn.NewBlock()
+			if err := f.genCond(x.X, then, mid); err != nil {
+				return err
+			}
+			f.b.SetBlock(mid)
+			return f.genCond(x.Y, then, els)
+		}
+		if isRelational(x.Op) {
+			xv, err := f.eval(x.X)
+			if err != nil {
+				return err
+			}
+			yv, err := f.eval(x.Y)
+			if err != nil {
+				return err
+			}
+			if xv.ty.K == TBool && yv.ty.K == TBool {
+				if x.Op != "==" && x.Op != "!=" {
+					return f.errf(x.Line, "ordering booleans")
+				}
+				f.b.Br(ir.W32, relCond[x.Op], xv.reg, yv.reg, then, els)
+				return nil
+			}
+			xv2, yv2, common, err := f.promoteBinary(xv, yv, x.Line)
+			if err != nil {
+				return err
+			}
+			if common.K == TDouble {
+				f.b.FBr(relCond[x.Op], xv2.reg, yv2.reg, then, els)
+				return nil
+			}
+			f.b.Br(opWidth(common), relCond[x.Op], xv2.reg, yv2.reg, then, els)
+			return nil
+		}
+	}
+	// General boolean-valued expression: compare against zero.
+	v, err := f.eval(e)
+	if err != nil {
+		return err
+	}
+	if v.ty.K != TBool {
+		return f.errf(lineOf(e), "condition must be boolean, got %s", v.ty)
+	}
+	z := f.b.Const(ir.W32, 0)
+	f.b.Br(ir.W32, ir.CondNE, v.reg, z, then, els)
+	return nil
+}
+
+func (f *fnLowerer) lowerTernary(x *Cond) (value, error) {
+	tBlk := f.b.Fn.NewBlock()
+	fBlk := f.b.Fn.NewBlock()
+	join := f.b.Fn.NewBlock()
+	if err := f.genCond(x.C, tBlk, fBlk); err != nil {
+		return value{}, err
+	}
+	// Evaluate both arms to learn the common type; assign into one register.
+	r := f.b.Fn.NewReg()
+	f.b.SetBlock(tBlk)
+	av, err := f.eval(x.A)
+	if err != nil {
+		return value{}, err
+	}
+	aBlkEnd := f.b.Block()
+	f.b.SetBlock(fBlk)
+	bv, err := f.eval(x.B)
+	if err != nil {
+		return value{}, err
+	}
+	bBlkEnd := f.b.Block()
+	var common *Type
+	switch {
+	case av.ty.Equal(bv.ty):
+		common = av.ty
+	case av.ty.IsNumeric() && bv.ty.IsNumeric():
+		switch {
+		case av.ty.K == TDouble || bv.ty.K == TDouble:
+			common = tyDouble
+		case av.ty.K == TLong || bv.ty.K == TLong:
+			common = tyLong
+		default:
+			common = tyInt
+		}
+	default:
+		return value{}, f.errf(x.Line, "incompatible ternary arms %s / %s", av.ty, bv.ty)
+	}
+	f.b.SetBlock(aBlkEnd)
+	av2, err := f.convert(av, common, x.Line)
+	if err != nil {
+		return value{}, err
+	}
+	f.copyInto(r, av2)
+	f.b.Jmp(join)
+	f.b.SetBlock(bBlkEnd)
+	bv2, err := f.convert(bv, common, x.Line)
+	if err != nil {
+		return value{}, err
+	}
+	f.copyInto(r, bv2)
+	f.b.Jmp(join)
+	f.b.SetBlock(join)
+	return value{r, common}, nil
+}
+
+func (f *fnLowerer) copyInto(dst ir.Reg, v value) {
+	switch v.ty.K {
+	case TDouble:
+		f.b.Op1To(ir.OpFMov, ir.W64, dst, v.reg)
+	case TLong:
+		f.b.MovTo(ir.W64, dst, v.reg)
+	case TArray:
+		f.b.MovTo(ir.W64, dst, v.reg)
+	default:
+		f.b.MovTo(ir.W32, dst, v.reg)
+	}
+}

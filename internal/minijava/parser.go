@@ -1,0 +1,629 @@
+package minijava
+
+import "fmt"
+
+// Parse turns source text into an AST.
+func Parse(src string) (*ProgramAST, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	return p.parseProgram()
+}
+
+type parser struct {
+	toks []token
+	pos  int
+}
+
+func (p *parser) cur() token  { return p.toks[p.pos] }
+func (p *parser) peek() token { return p.toks[min(p.pos+1, len(p.toks)-1)] }
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func (p *parser) next() token {
+	t := p.toks[p.pos]
+	if p.pos < len(p.toks)-1 {
+		p.pos++
+	}
+	return t
+}
+
+func (p *parser) errf(t token, format string, args ...interface{}) error {
+	return &Error{t.line, t.col, fmt.Sprintf(format, args...)}
+}
+
+func (p *parser) expect(text string) (token, error) {
+	t := p.cur()
+	if t.kind != tPunct && t.kind != tKeyword || t.text != text {
+		return t, p.errf(t, "expected %q, found %q", text, t.text)
+	}
+	return p.next(), nil
+}
+
+func (p *parser) at(text string) bool {
+	t := p.cur()
+	return (t.kind == tPunct || t.kind == tKeyword) && t.text == text
+}
+
+func (p *parser) eat(text string) bool {
+	if p.at(text) {
+		p.next()
+		return true
+	}
+	return false
+}
+
+var baseTypes = map[string]*Type{
+	"void": tyVoid, "boolean": tyBool, "byte": tyByte, "short": tyShort,
+	"char": tyChar, "int": tyInt, "long": tyLong, "double": tyDouble,
+}
+
+// atType reports whether the current token begins a type.
+func (p *parser) atType() bool {
+	t := p.cur()
+	return t.kind == tKeyword && baseTypes[t.text] != nil
+}
+
+func (p *parser) parseType() (*Type, error) {
+	t := p.cur()
+	base := baseTypes[t.text]
+	if t.kind != tKeyword || base == nil {
+		return nil, p.errf(t, "expected type, found %q", t.text)
+	}
+	p.next()
+	ty := base
+	for p.at("[") && p.peek().text == "]" {
+		p.next()
+		p.next()
+		ty = &Type{K: TArray, Elem: ty}
+	}
+	return ty, nil
+}
+
+func (p *parser) parseProgram() (*ProgramAST, error) {
+	prog := &ProgramAST{}
+	for p.cur().kind != tEOF {
+		isStatic := p.eat("static")
+		line := p.cur().line
+		ty, err := p.parseType()
+		if err != nil {
+			return nil, err
+		}
+		name := p.cur()
+		if name.kind != tIdent {
+			return nil, p.errf(name, "expected identifier, found %q", name.text)
+		}
+		p.next()
+		if p.at("(") {
+			fn, err := p.parseFuncRest(ty, name.text, line)
+			if err != nil {
+				return nil, err
+			}
+			prog.Funcs = append(prog.Funcs, fn)
+		} else {
+			g := &GlobalDecl{Name: name.text, Type: ty, Line: line}
+			if p.eat("=") {
+				e, err := p.parseExpr()
+				if err != nil {
+					return nil, err
+				}
+				g.Init = e
+			}
+			if _, err := p.expect(";"); err != nil {
+				return nil, err
+			}
+			prog.Globals = append(prog.Globals, g)
+		}
+		_ = isStatic
+	}
+	return prog, nil
+}
+
+func (p *parser) parseFuncRest(ret *Type, name string, line int) (*FuncDecl, error) {
+	if _, err := p.expect("("); err != nil {
+		return nil, err
+	}
+	fn := &FuncDecl{Name: name, Ret: ret, Line: line}
+	for !p.at(")") {
+		if len(fn.Params) > 0 {
+			if _, err := p.expect(","); err != nil {
+				return nil, err
+			}
+		}
+		ty, err := p.parseType()
+		if err != nil {
+			return nil, err
+		}
+		id := p.cur()
+		if id.kind != tIdent {
+			return nil, p.errf(id, "expected parameter name")
+		}
+		p.next()
+		fn.Params = append(fn.Params, ParamDecl{Name: id.text, Type: ty})
+	}
+	p.next() // ")"
+	body, err := p.parseBlock()
+	if err != nil {
+		return nil, err
+	}
+	fn.Body = body
+	return fn, nil
+}
+
+func (p *parser) parseBlock() (*BlockStmt, error) {
+	if _, err := p.expect("{"); err != nil {
+		return nil, err
+	}
+	b := &BlockStmt{}
+	for !p.at("}") {
+		if p.cur().kind == tEOF {
+			return nil, p.errf(p.cur(), "unexpected end of file in block")
+		}
+		s, err := p.parseStmt()
+		if err != nil {
+			return nil, err
+		}
+		b.Stmts = append(b.Stmts, s)
+	}
+	p.next()
+	return b, nil
+}
+
+func (p *parser) parseStmt() (Stmt, error) {
+	t := p.cur()
+	switch {
+	case p.at("{"):
+		return p.parseBlock()
+	case p.at("if"):
+		p.next()
+		if _, err := p.expect("("); err != nil {
+			return nil, err
+		}
+		cond, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(")"); err != nil {
+			return nil, err
+		}
+		then, err := p.parseStmt()
+		if err != nil {
+			return nil, err
+		}
+		st := &IfStmt{Cond: cond, Then: then}
+		if p.eat("else") {
+			els, err := p.parseStmt()
+			if err != nil {
+				return nil, err
+			}
+			st.Else = els
+		}
+		return st, nil
+	case p.at("while"):
+		p.next()
+		if _, err := p.expect("("); err != nil {
+			return nil, err
+		}
+		cond, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(")"); err != nil {
+			return nil, err
+		}
+		body, err := p.parseStmt()
+		if err != nil {
+			return nil, err
+		}
+		return &WhileStmt{Cond: cond, Body: body}, nil
+	case p.at("do"):
+		p.next()
+		body, err := p.parseStmt()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect("while"); err != nil {
+			return nil, err
+		}
+		if _, err := p.expect("("); err != nil {
+			return nil, err
+		}
+		cond, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(")"); err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(";"); err != nil {
+			return nil, err
+		}
+		return &DoWhileStmt{Body: body, Cond: cond}, nil
+	case p.at("for"):
+		p.next()
+		if _, err := p.expect("("); err != nil {
+			return nil, err
+		}
+		st := &ForStmt{}
+		if !p.at(";") {
+			init, err := p.parseSimpleStmt()
+			if err != nil {
+				return nil, err
+			}
+			st.Init = init
+		}
+		if _, err := p.expect(";"); err != nil {
+			return nil, err
+		}
+		if !p.at(";") {
+			cond, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			st.Cond = cond
+		}
+		if _, err := p.expect(";"); err != nil {
+			return nil, err
+		}
+		if !p.at(")") {
+			post, err := p.parseSimpleStmt()
+			if err != nil {
+				return nil, err
+			}
+			st.Post = post
+		}
+		if _, err := p.expect(")"); err != nil {
+			return nil, err
+		}
+		body, err := p.parseStmt()
+		if err != nil {
+			return nil, err
+		}
+		st.Body = body
+		return st, nil
+	case p.at("return"):
+		p.next()
+		st := &ReturnStmt{Line: t.line}
+		if !p.at(";") {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			st.Value = e
+		}
+		if _, err := p.expect(";"); err != nil {
+			return nil, err
+		}
+		return st, nil
+	case p.at("break"):
+		p.next()
+		if _, err := p.expect(";"); err != nil {
+			return nil, err
+		}
+		return &BreakStmt{Line: t.line}, nil
+	case p.at("continue"):
+		p.next()
+		if _, err := p.expect(";"); err != nil {
+			return nil, err
+		}
+		return &ContinueStmt{Line: t.line}, nil
+	default:
+		s, err := p.parseSimpleStmt()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(";"); err != nil {
+			return nil, err
+		}
+		return s, nil
+	}
+}
+
+// parseSimpleStmt parses a declaration or expression statement (no trailing
+// semicolon), as used in for-clauses.
+func (p *parser) parseSimpleStmt() (Stmt, error) {
+	if p.atType() {
+		line := p.cur().line
+		ty, err := p.parseType()
+		if err != nil {
+			return nil, err
+		}
+		id := p.cur()
+		if id.kind != tIdent {
+			return nil, p.errf(id, "expected variable name")
+		}
+		p.next()
+		d := &VarDecl{Name: id.text, Type: ty, Line: line}
+		if p.eat("=") {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			d.Init = e
+		}
+		return d, nil
+	}
+	e, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	return &ExprStmt{E: e}, nil
+}
+
+// Expression grammar, precedence climbing.
+
+func (p *parser) parseExpr() (Expr, error) { return p.parseAssign() }
+
+var assignOps = map[string]bool{
+	"=": true, "+=": true, "-=": true, "*=": true, "/=": true, "%=": true,
+	"&=": true, "|=": true, "^=": true, "<<=": true, ">>=": true, ">>>=": true,
+}
+
+func (p *parser) parseAssign() (Expr, error) {
+	lhs, err := p.parseTernary()
+	if err != nil {
+		return nil, err
+	}
+	t := p.cur()
+	if t.kind == tPunct && assignOps[t.text] {
+		p.next()
+		rhs, err := p.parseAssign()
+		if err != nil {
+			return nil, err
+		}
+		op := ""
+		if t.text != "=" {
+			op = t.text[:len(t.text)-1]
+		}
+		switch lhs.(type) {
+		case *Ident, *Index:
+		default:
+			return nil, p.errf(t, "invalid assignment target")
+		}
+		return &Assign{LHS: lhs, Op: op, RHS: rhs, Line: t.line}, nil
+	}
+	return lhs, nil
+}
+
+func (p *parser) parseTernary() (Expr, error) {
+	c, err := p.parseBinary(0)
+	if err != nil {
+		return nil, err
+	}
+	if p.at("?") {
+		line := p.cur().line
+		p.next()
+		a, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(":"); err != nil {
+			return nil, err
+		}
+		b, err := p.parseTernary()
+		if err != nil {
+			return nil, err
+		}
+		return &Cond{C: c, A: a, B: b, Line: line}, nil
+	}
+	return c, nil
+}
+
+// binary operator precedence levels, lowest first.
+var precLevels = [][]string{
+	{"||"},
+	{"&&"},
+	{"|"},
+	{"^"},
+	{"&"},
+	{"==", "!="},
+	{"<", "<=", ">", ">="},
+	{"<<", ">>", ">>>"},
+	{"+", "-"},
+	{"*", "/", "%"},
+}
+
+func (p *parser) parseBinary(level int) (Expr, error) {
+	if level >= len(precLevels) {
+		return p.parseUnary()
+	}
+	x, err := p.parseBinary(level + 1)
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.cur()
+		found := false
+		if t.kind == tPunct {
+			for _, op := range precLevels[level] {
+				if t.text == op {
+					found = true
+					break
+				}
+			}
+		}
+		if !found {
+			return x, nil
+		}
+		p.next()
+		y, err := p.parseBinary(level + 1)
+		if err != nil {
+			return nil, err
+		}
+		x = &Binary{Op: t.text, X: x, Y: y, Line: t.line}
+	}
+}
+
+func (p *parser) parseUnary() (Expr, error) {
+	t := p.cur()
+	if t.kind == tPunct {
+		switch t.text {
+		case "!", "~", "-":
+			p.next()
+			x, err := p.parseUnary()
+			if err != nil {
+				return nil, err
+			}
+			return &Unary{Op: t.text, X: x, Line: t.line}, nil
+		case "+":
+			p.next()
+			return p.parseUnary()
+		case "++", "--":
+			p.next()
+			x, err := p.parseUnary()
+			if err != nil {
+				return nil, err
+			}
+			return &IncDec{X: x, Op: t.text, Line: t.line}, nil
+		case "(":
+			// Cast or parenthesized expression.
+			if p.peek().kind == tKeyword && baseTypes[p.peek().text] != nil {
+				p.next()
+				ty, err := p.parseType()
+				if err != nil {
+					return nil, err
+				}
+				if _, err := p.expect(")"); err != nil {
+					return nil, err
+				}
+				x, err := p.parseUnary()
+				if err != nil {
+					return nil, err
+				}
+				return &Cast{To: ty, X: x, Line: t.line}, nil
+			}
+		}
+	}
+	return p.parsePostfix()
+}
+
+func (p *parser) parsePostfix() (Expr, error) {
+	x, err := p.parsePrimary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.cur()
+		switch {
+		case p.at("["):
+			p.next()
+			idx, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect("]"); err != nil {
+				return nil, err
+			}
+			x = &Index{Arr: x, Idx: idx, Line: t.line}
+		case p.at("."):
+			p.next()
+			id := p.cur()
+			if id.kind != tIdent || id.text != "length" {
+				return nil, p.errf(id, "only .length is supported")
+			}
+			p.next()
+			x = &Length{Arr: x, Line: t.line}
+		case p.at("++"), p.at("--"):
+			p.next()
+			x = &IncDec{X: x, Op: t.text, Post: true, Line: t.line}
+		default:
+			return x, nil
+		}
+	}
+}
+
+func (p *parser) parsePrimary() (Expr, error) {
+	t := p.cur()
+	switch t.kind {
+	case tIntLit:
+		p.next()
+		return &IntLit{V: t.ival}, nil
+	case tCharLit:
+		p.next()
+		return &IntLit{V: t.ival, Char: true}, nil
+	case tLongLit:
+		p.next()
+		return &IntLit{V: t.ival, Long: true}, nil
+	case tFloatLit:
+		p.next()
+		return &FloatLit{V: t.fval}, nil
+	case tIdent:
+		p.next()
+		if p.at("(") {
+			p.next()
+			c := &Call{Name: t.text, Line: t.line}
+			for !p.at(")") {
+				if len(c.Args) > 0 {
+					if _, err := p.expect(","); err != nil {
+						return nil, err
+					}
+				}
+				a, err := p.parseExpr()
+				if err != nil {
+					return nil, err
+				}
+				c.Args = append(c.Args, a)
+			}
+			p.next()
+			return c, nil
+		}
+		return &Ident{Name: t.text, Line: t.line}, nil
+	case tKeyword:
+		switch t.text {
+		case "true":
+			p.next()
+			return &BoolLit{V: true}, nil
+		case "false":
+			p.next()
+			return &BoolLit{V: false}, nil
+		case "new":
+			p.next()
+			elem, err := p.parseElemType()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect("["); err != nil {
+				return nil, err
+			}
+			n, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect("]"); err != nil {
+				return nil, err
+			}
+			return &NewArray{Elem: elem, Len: n, Line: t.line}, nil
+		}
+	case tPunct:
+		if t.text == "(" {
+			p.next()
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(")"); err != nil {
+				return nil, err
+			}
+			return e, nil
+		}
+	}
+	return nil, p.errf(t, "unexpected token %q", t.text)
+}
+
+// parseElemType parses the element type of a new-expression (no [] suffix).
+func (p *parser) parseElemType() (*Type, error) {
+	t := p.cur()
+	base := baseTypes[t.text]
+	if t.kind != tKeyword || base == nil || base == tyVoid {
+		return nil, p.errf(t, "expected element type, found %q", t.text)
+	}
+	p.next()
+	return base, nil
+}

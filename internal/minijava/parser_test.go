@@ -1,0 +1,146 @@
+package minijava
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		src  string
+		want string // substring of the error
+	}{
+		{"void main() {", "unexpected end"},
+		{"void main() { int = 3; }", "expected variable name"},
+		{"void main() { 3 = x; }", "invalid assignment"},
+		{"void main() { if x { } }", `expected "("`},
+		{"int main() { return; }", "missing return value"},
+		{"void main() { return 3; }", "void function returns"},
+		{"void main() { break; }", "break outside loop"},
+		{"void main() { continue; }", "continue outside loop"},
+		{"void main() { x = 1; }", "undefined variable"},
+		{"void main() { f(); }", "undefined function"},
+		{"void main() { int x = 1; int x = 2; }", "duplicate variable"},
+		{"void f() {} void f() {} void main() {}", "duplicate function"},
+		{"void notmain() {}", "no main function"},
+		{"void main() { int x = 1; x.size; }", "only .length"},
+		{"void main() { print(1, 2); }", "print takes one argument"},
+		{"void main() { sqrt(1.0, 2.0); }", "sqrt takes 1"},
+		{"void main() { int x = true + 1; }", "convert"},
+		{"void main() { boolean b = (boolean) 3; }", "cast"},
+		{"void main() { if (3) {} }", "condition must be boolean"},
+		{"void main() { double d = 1.0; int x = d; }", "convert"},
+		{"static int[] g; void main() {}", "globals must be scalar"},
+		{"void main() { char c = '", ""},
+	}
+	for _, c := range cases {
+		_, err := Compile(c.src)
+		if err == nil {
+			t.Errorf("accepted %q", c.src)
+			continue
+		}
+		if c.want != "" && !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%q: error %q does not mention %q", c.src, err, c.want)
+		}
+	}
+}
+
+func TestLexerDetails(t *testing.T) {
+	out := compileAndRun(t, `
+		void main() {
+			// line comment
+			/* block
+			   comment */
+			int hexv = 0xFF;
+			print(hexv);
+			print('A');
+			print('\n');
+			print('\\');
+			long big = 0x7fffffffffffffffL;
+			print(big);
+			print(1e3);
+			print(2.5e-1);
+		}`)
+	want := "255\n65\n10\n92\n9223372036854775807\n1000\n0.25\n"
+	if out != want {
+		t.Fatalf("got %q want %q", out, want)
+	}
+}
+
+func TestOperatorPrecedence(t *testing.T) {
+	out := compileAndRun(t, `
+		void main() {
+			print(2 + 3 * 4);
+			print((2 + 3) * 4);
+			print(1 << 2 + 1);        // shift binds looser than +
+			print(10 - 4 - 3);        // left associative
+			print(7 & 3 | 4 ^ 1);     // & over ^ over |
+			print(1 < 2 == true ? 1 : 0);
+			print(-2 * -3);
+			print(~-1);
+			int x = 5;
+			print(x++ + x);
+			print(x-- - x);
+		}`)
+	want := "14\n20\n8\n3\n7\n1\n6\n0\n11\n1\n"
+	if out != want {
+		t.Fatalf("got %q want %q", out, want)
+	}
+}
+
+func TestShortCircuit(t *testing.T) {
+	out := compileAndRun(t, `
+		static int calls = 0;
+		boolean bump() { calls = calls + 1; return true; }
+		void main() {
+			boolean a = false && bump();
+			boolean b = true || bump();
+			print(calls);        // neither side evaluated
+			boolean c = true && bump();
+			print(calls);        // one call
+			print(a ? 1 : 0); print(b ? 1 : 0); print(c ? 1 : 0);
+		}`)
+	want := "0\n1\n0\n1\n1\n"
+	if out != want {
+		t.Fatalf("got %q want %q", out, want)
+	}
+}
+
+func TestCharArithmetic(t *testing.T) {
+	out := compileAndRun(t, `
+		void main() {
+			char c = 'z';
+			int v = c - 'a';
+			print(v);
+			char big = (char) 70000;   // wraps mod 65536
+			print(big);
+			char[] cs = new char[3];
+			cs[0] = (char) 65535;
+			cs[1] = 'q';
+			print(cs[0] + cs[1]);
+		}`)
+	want := "25\n4464\n65648\n"
+	if out != want {
+		t.Fatalf("got %q want %q", out, want)
+	}
+}
+
+func TestNestedLoopsAndShadowing(t *testing.T) {
+	out := compileAndRun(t, `
+		void main() {
+			int total = 0;
+			for (int i = 0; i < 3; i++) {
+				for (int j = 0; j < 3; j++) {
+					int i2 = i * 10;
+					{ int k = i2 + j; total += k; }
+				}
+			}
+			print(total);
+			int i = 99;   // the loop's i is out of scope
+			print(i);
+		}`)
+	want := "99\n99\n"
+	if out != want {
+		t.Fatalf("got %q want %q", out, want)
+	}
+}

@@ -1,0 +1,171 @@
+package minijava
+
+import (
+	"testing"
+
+	"signext/internal/interp"
+	"signext/internal/ir"
+	"signext/internal/jit"
+)
+
+func TestGlobalsOfEveryType(t *testing.T) {
+	out := compileAndRun(t, `
+		static int gi = -7;
+		static long gl = 10000000000L;
+		static double gd = 2.25;
+		static boolean gb = true;
+		static short gs = -12345;
+		static char gc = 'Z';
+		static byte gy = -100;
+		void main() {
+			print(gi); print(gl); print(gd); print(gb ? 1 : 0);
+			print(gs); print(gc); print(gy);
+			gi = gi * -3;
+			gl += gi;
+			gd = gd * 2.0;
+			gb = !gb;
+			gs = (short) (gs - 1);
+			gc = (char) (gc + 1);
+			gy = (byte) (gy - 100);
+			print(gi); print(gl); print(gd); print(gb ? 1 : 0);
+			print(gs); print(gc); print(gy);
+		}`)
+	want := "-7\n10000000000\n2.25\n1\n-12345\n90\n-100\n" +
+		"21\n10000000021\n4.5\n0\n-12346\n91\n56\n"
+	if out != want {
+		t.Fatalf("got %q want %q", out, want)
+	}
+}
+
+func TestTernaryWithMixedTypes(t *testing.T) {
+	out := compileAndRun(t, `
+		void main() {
+			int i = 5;
+			long l = i > 3 ? 100L : i;      // int arm widens
+			print(l);
+			double d = i < 3 ? 1.5 : i;     // int arm converts
+			print(d);
+			print(i == 5 ? i * 2 : i / 0);  // untaken arm must not trap
+		}`)
+	want := "100\n5\n10\n"
+	if out != want {
+		t.Fatalf("got %q want %q", out, want)
+	}
+}
+
+func TestDoWhileAndBreakInNested(t *testing.T) {
+	out := compileAndRun(t, `
+		void main() {
+			int found = -1;
+			for (int i = 0; i < 5; i++) {
+				int j = 0;
+				do {
+					if (i * 10 + j == 23) { found = i * 100 + j; break; }
+					j++;
+				} while (j < 10);
+				if (found >= 0) { break; }
+			}
+			print(found);
+		}`)
+	if out != "203\n" {
+		t.Fatalf("got %q", out)
+	}
+}
+
+func TestLongShiftAndUnsigned(t *testing.T) {
+	out := compileAndRun(t, `
+		void main() {
+			long x = -1L;
+			print(x >>> 32);
+			print(x >> 32);
+			print(x << 62);
+			long y = 0x8000000000000000L;
+			print(y >> 63);
+			print(y >>> 63);
+			int i = -1;
+			print(i >>> 28);   // int unsigned shift
+		}`)
+	want := "4294967295\n-1\n-4611686018427387904\n-1\n1\n15\n"
+	if out != want {
+		t.Fatalf("got %q want %q", out, want)
+	}
+}
+
+func TestModuloAndDivisionSigns(t *testing.T) {
+	out := compileAndRun(t, `
+		void main() {
+			print(7 / 2); print(7 % 2);
+			print(-7 / 2); print(-7 % 2);
+			print(7 / -2); print(7 % -2);
+			print(-7 / -2); print(-7 % -2);
+			long a = -9000000000L;
+			print(a / 7L); print(a % 7L);
+		}`)
+	want := "3\n1\n-3\n-1\n-3\n1\n3\n-1\n-1285714285\n-5\n"
+	if out != want {
+		t.Fatalf("got %q want %q", out, want)
+	}
+}
+
+// TestDeepCallChainUnderOptimization: recursion prevents inlining; calling
+// convention extensions must survive where needed.
+func TestDeepCallChainUnderOptimization(t *testing.T) {
+	src := `
+		int weird(int n, int acc) {
+			if (n == 0) { return acc; }
+			return weird(n - 1, acc * 31 + n);
+		}
+		void main() {
+			print(weird(40, 7));
+		}`
+	cu, err := Compile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := interp.Run(cu.Prog, "main", interp.Options{Mode: interp.Mode32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range []jit.Variant{jit.Baseline, jit.All} {
+		res, err := jit.Compile(cu.Prog, jit.Options{Variant: v, Machine: ir.IA64, GeneralOpts: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		out, err := jit.Execute(res, "main")
+		if err != nil || out.Output != ref.Output {
+			t.Fatalf("%v: %v / %q vs %q", v, err, out.Output, ref.Output)
+		}
+	}
+}
+
+func TestDeadCodeAfterReturn(t *testing.T) {
+	out := compileAndRun(t, `
+		int f(int x) {
+			if (x > 0) { return 1; } else { return -1; }
+		}
+		void main() {
+			print(f(5));
+			print(f(-5));
+		}`)
+	if out != "1\n-1\n" {
+		t.Fatalf("got %q", out)
+	}
+}
+
+func TestBooleanArrays(t *testing.T) {
+	out := compileAndRun(t, `
+		void main() {
+			boolean[] sieve = new boolean[30];
+			for (int i = 2; i < 30; i++) {
+				if (!sieve[i]) {
+					for (int j = i + i; j < 30; j += i) { sieve[j] = true; }
+				}
+			}
+			int count = 0;
+			for (int i = 2; i < 30; i++) { if (!sieve[i]) { count++; } }
+			print(count);
+		}`)
+	if out != "10\n" {
+		t.Fatalf("primes below 30: got %q", out)
+	}
+}

@@ -1,0 +1,289 @@
+// Package minijava implements a small Java-flavoured language — the
+// frontend substrate standing in for the paper's Java programs. It has
+// exactly the properties the paper's array-subscript theorems rely on:
+// arrays throw on negative indices, the maximum array length is 0x7fffffff,
+// int is 32 bits wide and long 64, and the sub-int types (byte, short, char)
+// exist in memory and widen to int on load.
+//
+// The pipeline is lexer → parser → type-directed lowering to the signext IR
+// in its 32-bit-architecture form (no explicit extensions except those
+// denoting casts).
+package minijava
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+type tokKind uint8
+
+const (
+	tEOF tokKind = iota
+	tIdent
+	tIntLit
+	tLongLit
+	tFloatLit
+	tCharLit
+	tPunct // operators and punctuation
+	tKeyword
+)
+
+type token struct {
+	kind tokKind
+	text string
+	ival int64
+	fval float64
+	line int
+	col  int
+}
+
+var keywords = map[string]bool{
+	"int": true, "long": true, "double": true, "boolean": true, "byte": true,
+	"short": true, "char": true, "void": true, "if": true, "else": true,
+	"while": true, "for": true, "do": true, "return": true, "break": true,
+	"continue": true, "new": true, "true": true, "false": true, "static": true,
+}
+
+// Error is a positioned frontend error.
+type Error struct {
+	Line, Col int
+	Msg       string
+}
+
+func (e *Error) Error() string { return fmt.Sprintf("%d:%d: %s", e.Line, e.Col, e.Msg) }
+
+type lexer struct {
+	src  string
+	pos  int
+	line int
+	col  int
+	toks []token
+}
+
+// three-character then two-character then one-character operators, longest
+// match first.
+var ops3 = []string{">>>=", "<<=", ">>=", ">>>"}
+var ops2 = []string{
+	"==", "!=", "<=", ">=", "&&", "||", "+=", "-=", "*=", "/=", "%=",
+	"&=", "|=", "^=", "<<", ">>", "++", "--",
+}
+
+func lex(src string) ([]token, error) {
+	l := &lexer{src: src, line: 1, col: 1}
+	for {
+		l.skipSpace()
+		if l.pos >= len(l.src) {
+			l.toks = append(l.toks, token{kind: tEOF, line: l.line, col: l.col})
+			return l.toks, nil
+		}
+		start, line, col := l.pos, l.line, l.col
+		c := l.src[l.pos]
+		switch {
+		case isIdentStart(rune(c)):
+			for l.pos < len(l.src) && isIdentPart(rune(l.src[l.pos])) {
+				l.advance()
+			}
+			text := l.src[start:l.pos]
+			k := tIdent
+			if keywords[text] {
+				k = tKeyword
+			}
+			l.toks = append(l.toks, token{kind: k, text: text, line: line, col: col})
+		case c >= '0' && c <= '9':
+			if err := l.lexNumber(line, col); err != nil {
+				return nil, err
+			}
+		case c == '\'':
+			if err := l.lexChar(line, col); err != nil {
+				return nil, err
+			}
+		default:
+			matched := ""
+			rest := l.src[l.pos:]
+			for _, op := range ops3 {
+				if strings.HasPrefix(rest, op) {
+					matched = op
+					break
+				}
+			}
+			if matched == "" {
+				for _, op := range ops2 {
+					if strings.HasPrefix(rest, op) {
+						matched = op
+						break
+					}
+				}
+			}
+			if matched == "" {
+				if strings.ContainsRune("+-*/%&|^!~<>=(){}[];,.?:", rune(c)) {
+					matched = string(c)
+				} else {
+					return nil, &Error{line, col, fmt.Sprintf("unexpected character %q", c)}
+				}
+			}
+			for range matched {
+				l.advance()
+			}
+			l.toks = append(l.toks, token{kind: tPunct, text: matched, line: line, col: col})
+		}
+	}
+}
+
+func (l *lexer) advance() {
+	if l.src[l.pos] == '\n' {
+		l.line++
+		l.col = 1
+	} else {
+		l.col++
+	}
+	l.pos++
+}
+
+func (l *lexer) skipSpace() {
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		switch {
+		case c == ' ' || c == '\t' || c == '\r' || c == '\n':
+			l.advance()
+		case c == '/' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '/':
+			for l.pos < len(l.src) && l.src[l.pos] != '\n' {
+				l.advance()
+			}
+		case c == '/' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '*':
+			l.advance()
+			l.advance()
+			for l.pos+1 < len(l.src) && !(l.src[l.pos] == '*' && l.src[l.pos+1] == '/') {
+				l.advance()
+			}
+			if l.pos+1 < len(l.src) {
+				l.advance()
+				l.advance()
+			}
+		default:
+			return
+		}
+	}
+}
+
+func (l *lexer) lexNumber(line, col int) error {
+	start := l.pos
+	isHex := false
+	if l.src[l.pos] == '0' && l.pos+1 < len(l.src) && (l.src[l.pos+1] == 'x' || l.src[l.pos+1] == 'X') {
+		isHex = true
+		l.advance()
+		l.advance()
+		for l.pos < len(l.src) && isHexDigit(l.src[l.pos]) {
+			l.advance()
+		}
+	} else {
+		for l.pos < len(l.src) && l.src[l.pos] >= '0' && l.src[l.pos] <= '9' {
+			l.advance()
+		}
+		// Fraction / exponent => double literal.
+		isFloat := false
+		if l.pos+1 < len(l.src) && l.src[l.pos] == '.' && l.src[l.pos+1] >= '0' && l.src[l.pos+1] <= '9' {
+			isFloat = true
+			l.advance()
+			for l.pos < len(l.src) && l.src[l.pos] >= '0' && l.src[l.pos] <= '9' {
+				l.advance()
+			}
+		}
+		if l.pos < len(l.src) && (l.src[l.pos] == 'e' || l.src[l.pos] == 'E') {
+			save := l.pos
+			l.advance()
+			if l.pos < len(l.src) && (l.src[l.pos] == '+' || l.src[l.pos] == '-') {
+				l.advance()
+			}
+			if l.pos < len(l.src) && l.src[l.pos] >= '0' && l.src[l.pos] <= '9' {
+				isFloat = true
+				for l.pos < len(l.src) && l.src[l.pos] >= '0' && l.src[l.pos] <= '9' {
+					l.advance()
+				}
+			} else {
+				l.pos = save
+			}
+		}
+		if isFloat {
+			var f float64
+			if _, err := fmt.Sscanf(l.src[start:l.pos], "%g", &f); err != nil {
+				return &Error{line, col, "bad float literal"}
+			}
+			l.toks = append(l.toks, token{kind: tFloatLit, fval: f, line: line, col: col})
+			return nil
+		}
+	}
+	text := l.src[start:l.pos]
+	long := false
+	if l.pos < len(l.src) && (l.src[l.pos] == 'L' || l.src[l.pos] == 'l') {
+		long = true
+		l.advance()
+	}
+	var v uint64
+	if isHex {
+		for _, c := range []byte(text[2:]) {
+			v = v*16 + uint64(hexVal(c))
+		}
+	} else {
+		for _, c := range []byte(text) {
+			v = v*10 + uint64(c-'0')
+		}
+	}
+	k := tIntLit
+	if long {
+		k = tLongLit
+	}
+	l.toks = append(l.toks, token{kind: k, ival: int64(v), line: line, col: col})
+	return nil
+}
+
+func (l *lexer) lexChar(line, col int) error {
+	l.advance() // opening quote
+	if l.pos >= len(l.src) {
+		return &Error{line, col, "unterminated char literal"}
+	}
+	var v int64
+	if l.src[l.pos] == '\\' {
+		l.advance()
+		switch l.src[l.pos] {
+		case 'n':
+			v = '\n'
+		case 't':
+			v = '\t'
+		case '0':
+			v = 0
+		case '\'':
+			v = '\''
+		case '\\':
+			v = '\\'
+		default:
+			return &Error{line, col, "bad escape in char literal"}
+		}
+		l.advance()
+	} else {
+		v = int64(l.src[l.pos])
+		l.advance()
+	}
+	if l.pos >= len(l.src) || l.src[l.pos] != '\'' {
+		return &Error{line, col, "unterminated char literal"}
+	}
+	l.advance()
+	l.toks = append(l.toks, token{kind: tCharLit, ival: v, line: line, col: col})
+	return nil
+}
+
+func isIdentStart(r rune) bool { return r == '_' || unicode.IsLetter(r) }
+func isIdentPart(r rune) bool  { return r == '_' || unicode.IsLetter(r) || unicode.IsDigit(r) }
+func isHexDigit(c byte) bool {
+	return c >= '0' && c <= '9' || c >= 'a' && c <= 'f' || c >= 'A' && c <= 'F'
+}
+func hexVal(c byte) int {
+	switch {
+	case c <= '9':
+		return int(c - '0')
+	case c >= 'a':
+		return int(c-'a') + 10
+	default:
+		return int(c-'A') + 10
+	}
+}

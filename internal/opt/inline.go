@@ -1,0 +1,187 @@
+package opt
+
+import "signext/internal/ir"
+
+// InlineProgram performs method inlining, one of the intermediate-language
+// optimizations the paper's JIT applies before the sign extension phase
+// (its references [10, 19] describe the inliner). Inlining matters here
+// because it removes call boundaries: arguments and results no longer cross
+// the sign-extended calling convention, so their extensions become visible
+// to — and mostly removable by — the elimination phase, exactly as in the
+// paper's FP-emulation and string-sort benchmarks.
+//
+// Small non-recursive callees are substituted at every call site, iterating
+// a few rounds so helpers of helpers flatten too, with a growth budget per
+// caller. Returns the number of call sites inlined.
+func InlineProgram(prog *ir.Program) int {
+	const (
+		maxCalleeSize = 70
+		maxCallerSize = 900
+		rounds        = 3
+	)
+	size := func(fn *ir.Func) int {
+		n := 0
+		fn.ForEachInstr(func(_ *ir.Block, _ *ir.Instr) { n++ })
+		return n
+	}
+	selfRecursive := func(fn *ir.Func) bool {
+		rec := false
+		fn.ForEachInstr(func(_ *ir.Block, ins *ir.Instr) {
+			if ins.Op == ir.OpCall && ins.Callee == fn.Name {
+				rec = true
+			}
+		})
+		return rec
+	}
+
+	total := 0
+	for round := 0; round < rounds; round++ {
+		n := 0
+		for _, caller := range prog.Funcs {
+			if size(caller) > maxCallerSize {
+				continue
+			}
+			// Snapshot call sites; inlining rewrites the block list.
+			type site struct {
+				blk *ir.Block
+				ins *ir.Instr
+			}
+			var sites []site
+			caller.ForEachInstr(func(b *ir.Block, ins *ir.Instr) {
+				if ins.Op != ir.OpCall {
+					return
+				}
+				callee := prog.Func(ins.Callee)
+				if callee == nil || callee == caller || callee.Name == "main" {
+					return
+				}
+				if size(callee) > maxCalleeSize || selfRecursive(callee) {
+					return
+				}
+				sites = append(sites, site{b, ins})
+			})
+			for _, s := range sites {
+				if size(caller) > maxCallerSize {
+					break
+				}
+				if s.ins.Blk != s.blk {
+					continue // a previous inline moved it; next round
+				}
+				inlineCall(caller, s.blk, s.ins, prog.Func(s.ins.Callee))
+				n++
+			}
+		}
+		total += n
+		if n == 0 {
+			break
+		}
+	}
+	return total
+}
+
+// inlineCall substitutes callee at the given call instruction.
+func inlineCall(caller *ir.Func, blk *ir.Block, call *ir.Instr, callee *ir.Func) {
+	k := blk.IndexOf(call)
+
+	// Split: blk keeps the prefix; cont receives the suffix and blk's edges.
+	cont := caller.NewBlock()
+	cont.Instrs = append(cont.Instrs, blk.Instrs[k+1:]...)
+	for _, ins := range cont.Instrs {
+		ins.Blk = cont
+	}
+	cont.Succs = blk.Succs
+	for _, s := range cont.Succs {
+		for pi, p := range s.Preds {
+			if p == blk {
+				s.Preds[pi] = cont
+			}
+		}
+	}
+	blk.Instrs = blk.Instrs[:k]
+	blk.Succs = nil
+
+	// Registers of the callee live at an offset in the caller.
+	base := ir.Reg(caller.NReg)
+	caller.NReg += callee.NReg
+	shift := func(r ir.Reg) ir.Reg {
+		if r == ir.NoReg {
+			return ir.NoReg
+		}
+		return r + base
+	}
+
+	// Pass arguments into the callee's parameter registers.
+	for pi, p := range callee.Params {
+		mv := caller.NewInstr(ir.OpMov)
+		mv.W = ir.W64
+		if p.Float {
+			mv.Op = ir.OpFMov
+		} else if !p.Ref && p.W == ir.W32 {
+			mv.W = ir.W32
+		}
+		mv.Dst = base + ir.Reg(pi)
+		mv.Srcs[0] = call.Args[pi]
+		mv.NSrcs = 1
+		mv.Blk = blk
+		blk.Instrs = append(blk.Instrs, mv)
+	}
+
+	// Clone the callee body.
+	bmap := make(map[*ir.Block]*ir.Block, len(callee.Blocks))
+	for _, cb := range callee.Blocks {
+		bmap[cb] = caller.NewBlock()
+	}
+	for _, cb := range callee.Blocks {
+		nb := bmap[cb]
+		for _, ins := range cb.Instrs {
+			if ins.Op == ir.OpRet {
+				// Return: copy the result into the call's destination and
+				// jump to the continuation.
+				if ins.NSrcs == 1 && call.Dst != ir.NoReg {
+					mv := caller.NewInstr(ir.OpMov)
+					mv.W = ir.W64
+					if callee.RetF {
+						mv.Op = ir.OpFMov
+					} else if callee.RetW == ir.W32 {
+						mv.W = ir.W32
+					}
+					mv.Dst = call.Dst
+					mv.Srcs[0] = shift(ins.Srcs[0])
+					mv.NSrcs = 1
+					mv.Blk = nb
+					nb.Instrs = append(nb.Instrs, mv)
+				}
+				jmp := caller.NewInstr(ir.OpJmp)
+				jmp.Blk = nb
+				nb.Instrs = append(nb.Instrs, jmp)
+				ir.AddEdge(nb, cont)
+				continue
+			}
+			ci := caller.NewInstr(ins.Op)
+			id := ci.ID
+			*ci = *ins
+			ci.ID = id
+			ci.Blk = nb
+			ci.Dst = shift(ins.Dst)
+			for si := 0; si < int(ins.NSrcs); si++ {
+				ci.Srcs[si] = shift(ins.Srcs[si])
+			}
+			if ins.Args != nil {
+				ci.Args = make([]ir.Reg, len(ins.Args))
+				for ai, a := range ins.Args {
+					ci.Args[ai] = shift(a)
+				}
+			}
+			nb.Instrs = append(nb.Instrs, ci)
+		}
+		for _, s := range cb.Succs {
+			ir.AddEdge(nb, bmap[s])
+		}
+	}
+
+	// Enter the inlined body.
+	jmp := caller.NewInstr(ir.OpJmp)
+	jmp.Blk = blk
+	blk.Instrs = append(blk.Instrs, jmp)
+	ir.AddEdge(blk, bmap[callee.Entry()])
+}

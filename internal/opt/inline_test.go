@@ -1,0 +1,136 @@
+package opt
+
+import (
+	"testing"
+
+	"signext/internal/interp"
+	"signext/internal/ir"
+	"signext/internal/minijava"
+)
+
+func TestInlineFlattensHelpers(t *testing.T) {
+	cu, err := minijava.Compile(`
+		int twice(int x) { return x + x; }
+		int quad(int x) { return twice(twice(x)); }
+		void main() {
+			int s = 0;
+			for (int i = 0; i < 10; i++) { s += quad(i); }
+			print(s);
+		}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before, err := interp.Run(cu.Prog, "main", interp.Options{Mode: interp.Mode32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := InlineProgram(cu.Prog)
+	if n == 0 {
+		t.Fatal("nothing inlined")
+	}
+	for _, fn := range cu.Prog.Funcs {
+		if err := fn.Verify(); err != nil {
+			t.Fatalf("%s: %v\n%s", fn.Name, err, fn.Format())
+		}
+	}
+	// main must no longer call anything.
+	calls := 0
+	cu.Prog.Func("main").ForEachInstr(func(_ *ir.Block, ins *ir.Instr) {
+		if ins.Op == ir.OpCall {
+			calls++
+		}
+	})
+	if calls != 0 {
+		t.Fatalf("%d calls survive in main:\n%s", calls, cu.Prog.Func("main").Format())
+	}
+	after, err := interp.Run(cu.Prog, "main", interp.Options{Mode: interp.Mode32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if before.Output != after.Output {
+		t.Fatalf("inlining changed behaviour: %q -> %q", before.Output, after.Output)
+	}
+}
+
+func TestInlineSkipsRecursion(t *testing.T) {
+	cu, err := minijava.Compile(`
+		int fib(int n) {
+			if (n < 2) { return n; }
+			return fib(n - 1) + fib(n - 2);
+		}
+		void main() { print(fib(12)); }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	InlineProgram(cu.Prog)
+	for _, fn := range cu.Prog.Funcs {
+		if err := fn.Verify(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	res, err := interp.Run(cu.Prog, "main", interp.Options{Mode: interp.Mode32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Output != "144\n" {
+		t.Fatalf("fib broken after inline pass: %q", res.Output)
+	}
+}
+
+func TestInlineMixedTypes(t *testing.T) {
+	cu, err := minijava.Compile(`
+		double mix(int i, long l, double d, int[] a) {
+			return i + l + d + a[i];
+		}
+		long lhelp(long x) { return x * 3L - 1L; }
+		void main() {
+			int[] a = new int[8];
+			a[3] = 40;
+			print(mix(3, 100L, 0.5, a));
+			print(lhelp(1000000000000L));
+		}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before, _ := interp.Run(cu.Prog, "main", interp.Options{Mode: interp.Mode32})
+	n := InlineProgram(cu.Prog)
+	if n < 2 {
+		t.Fatalf("inlined %d sites, want 2", n)
+	}
+	after, err := interp.Run(cu.Prog, "main", interp.Options{Mode: interp.Mode32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if before.Output != after.Output {
+		t.Fatalf("mixed-type inlining changed behaviour: %q -> %q", before.Output, after.Output)
+	}
+}
+
+func TestInlineVoidAndMultiReturn(t *testing.T) {
+	cu, err := minijava.Compile(`
+		static int g = 0;
+		void bump(int k) {
+			if (k > 5) { g += 10; return; }
+			g += 1;
+		}
+		void main() {
+			for (int i = 0; i < 10; i++) { bump(i); }
+			print(g);
+		}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	InlineProgram(cu.Prog)
+	for _, fn := range cu.Prog.Funcs {
+		if err := fn.Verify(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	res, err := interp.Run(cu.Prog, "main", interp.Options{Mode: interp.Mode32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Output != "46\n" {
+		t.Fatalf("void/multi-return inlining broken: %q", res.Output)
+	}
+}

@@ -1,0 +1,59 @@
+package vrange
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"signext/internal/ir"
+)
+
+// Property: Union over-approximates membership; Intersect is exact.
+func TestRangeAlgebraProperty(t *testing.T) {
+	f := func(a, b, c, d, v int64) bool {
+		r1 := Range{min64(a, b), max64(a, b)}
+		r2 := Range{min64(c, d), max64(c, d)}
+		in := func(r Range, x int64) bool { return !r.IsBottom() && x >= r.Lo && x <= r.Hi }
+		if in(r1, v) || in(r2, v) {
+			if !in(r1.Union(r2), v) {
+				return false
+			}
+		}
+		if in(r1.Intersect(r2), v) != (in(r1, v) && in(r2, v)) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestRefineByCond covers the constraint derivations, including the unsigned
+// bounds-check form.
+func TestRefineByCond(t *testing.T) {
+	base := Full32()
+	if r := refineByCond(base, ir.CondLT, false, Range{0, 100}, ir.W32); r.Hi != 99 {
+		t.Errorf("x < [0,100]: %v", r)
+	}
+	if r := refineByCond(base, ir.CondGE, false, Range{5, 10}, ir.W32); r.Lo != 5 {
+		t.Errorf("x >= [5,10]: %v", r)
+	}
+	if r := refineByCond(base, ir.CondLT, true, Range{7, 7}, ir.W32); r.Lo != 8 {
+		t.Errorf("7 < x: %v", r)
+	}
+	if r := refineByCond(base, ir.CondULT, false, Range{0, 50}, ir.W32); r != (Range{0, 49}) {
+		t.Errorf("x <u [0,50]: %v", r)
+	}
+	if r := refineByCond(base, ir.CondEQ, false, Range{3, 3}, ir.W32); r != (Range{3, 3}) {
+		t.Errorf("x == 3: %v", r)
+	}
+	// Unsigned against a possibly-negative bound gives nothing.
+	if r := refineByCond(base, ir.CondULT, false, Range{-1, 50}, ir.W32); r != base {
+		t.Errorf("x <u [-1,50] must not refine: %v", r)
+	}
+	// x < MaxInt64 edge must not underflow.
+	if r := refineByCond(Full64(), ir.CondLT, false, Range{math.MinInt64, math.MaxInt64}, ir.W64); r != Full64() {
+		t.Errorf("unbounded LT must not refine: %v", r)
+	}
+}

@@ -1,0 +1,593 @@
+package workloads
+
+// The ten jBYTEmark kernels. Each reproduces the operation mix of the
+// original benchmark: the integer sorts and bit manipulation are
+// array-subscript heavy (where the paper's Theorems shine), FP emulation
+// does 32-bit mantissa/exponent arithmetic, Fourier and the neural net mix
+// int subscripts with double math, IDEA works in 16-bit modular arithmetic.
+
+const srcNumericSort = `
+// jBYTEmark Numeric Sort: heapsort over signed 32-bit integers.
+static int seed = 7;
+int rnd() { seed = seed * 1103515245 + 12345; return (seed >>> 8) & 0xffff; }
+
+void heapify(int[] a, int n, int i) {
+	while (true) {
+		int largest = i;
+		int l = 2 * i + 1;
+		int r = 2 * i + 2;
+		if (l < n && a[l] > a[largest]) { largest = l; }
+		if (r < n && a[r] > a[largest]) { largest = r; }
+		if (largest == i) { break; }
+		int t = a[i]; a[i] = a[largest]; a[largest] = t;
+		i = largest;
+	}
+}
+
+void main() {
+	int n = 2000;
+	int[] a = new int[n];
+	int pass = 0;
+	int check = 0;
+	while (pass < 3) {
+		for (int i = 0; i < n; i++) { a[i] = rnd() - 32768; }
+		for (int i = n / 2 - 1; i >= 0; i--) { heapify(a, n, i); }
+		for (int i = n - 1; i > 0; i--) {
+			int t = a[0]; a[0] = a[i]; a[i] = t;
+			heapify(a, i, 0);
+		}
+		int ok = 1;
+		for (int i = 1; i < n; i++) { if (a[i - 1] > a[i]) { ok = 0; } }
+		check = check * 31 + a[0] + a[n - 1] + ok;
+		pass++;
+	}
+	print(check);
+}
+`
+
+const srcStringSort = `
+// jBYTEmark String Sort: shell sort of variable-length byte strings held in
+// one pool, addressed through an offset table.
+static int seed = 99;
+int rnd() { seed = seed * 1103515245 + 12345; return (seed >>> 9) & 0x7fff; }
+
+// Compare strings at offsets oa and ob (length-prefixed in the pool).
+int cmp(byte[] pool, int oa, int ob) {
+	int la = pool[oa] & 0xff;
+	int lb = pool[ob] & 0xff;
+	int n = la;
+	if (lb < n) { n = lb; }
+	for (int k = 1; k <= n; k++) {
+		int ca = pool[oa + k] & 0xff;
+		int cb = pool[ob + k] & 0xff;
+		if (ca != cb) { return ca - cb; }
+	}
+	return la - lb;
+}
+
+void main() {
+	int count = 400;
+	byte[] pool = new byte[count * 18];
+	int[] off = new int[count];
+	int pos = 0;
+	for (int i = 0; i < count; i++) {
+		int len = 4 + rnd() % 12;
+		off[i] = pos;
+		pool[pos] = (byte) len;
+		for (int k = 1; k <= len; k++) { pool[pos + k] = (byte) (97 + rnd() % 26); }
+		pos = pos + len + 1;
+	}
+	// Shell sort on the offset table.
+	int gap = count / 2;
+	while (gap > 0) {
+		for (int i = gap; i < count; i++) {
+			int tmp = off[i];
+			int j = i;
+			while (j >= gap && cmp(pool, off[j - gap], tmp) > 0) {
+				off[j] = off[j - gap];
+				j = j - gap;
+			}
+			off[j] = tmp;
+		}
+		gap = gap / 2;
+	}
+	int check = 0;
+	for (int i = 0; i < count; i++) {
+		check = check * 131 + pool[off[i] + 1];
+	}
+	print(check);
+}
+`
+
+const srcBitfield = `
+// jBYTEmark Bitfield: set, clear and complement runs of bits in a bitmap.
+static int seed = 13;
+int rnd() { seed = seed * 1103515245 + 12345; return (seed >>> 7) & 0xfffff; }
+
+void setRange(int[] map, int start, int len) {
+	for (int b = start; b < start + len; b++) {
+		map[b >> 5] = map[b >> 5] | (1 << (b & 31));
+	}
+}
+void clearRange(int[] map, int start, int len) {
+	for (int b = start; b < start + len; b++) {
+		map[b >> 5] = map[b >> 5] & ~(1 << (b & 31));
+	}
+}
+void flipRange(int[] map, int start, int len) {
+	for (int b = start; b < start + len; b++) {
+		map[b >> 5] = map[b >> 5] ^ (1 << (b & 31));
+	}
+}
+int popcount(int[] map) {
+	int total = 0;
+	for (int i = 0; i < map.length; i++) {
+		int v = map[i];
+		while (v != 0) { v = v & (v - 1); total++; }
+	}
+	return total;
+}
+
+void main() {
+	int words = 1024;
+	int bits = words * 32;
+	int[] map = new int[words];
+	for (int op = 0; op < 1200; op++) {
+		int start = rnd() % (bits - 64);
+		int len = 1 + rnd() % 63;
+		int kind = op % 3;
+		if (kind == 0) { setRange(map, start, len); }
+		else if (kind == 1) { clearRange(map, start, len); }
+		else { flipRange(map, start, len); }
+	}
+	print(popcount(map));
+	int check = 0;
+	for (int i = 0; i < words; i++) { check = check ^ (map[i] * (i + 1)); }
+	print(check);
+}
+`
+
+const srcFPEmu = `
+// jBYTEmark FP Emulation: software floating point on 32-bit words
+// (1 sign bit, 8 exponent bits, 23-bit mantissa), add and multiply
+// implemented with integer shifts and 64-bit products.
+static int seed = 21;
+int rnd() { seed = seed * 1103515245 + 12345; return (seed >>> 10) & 0xffff; }
+
+int fpPack(int sign, int exp, int mant) {
+	// Normalize the 24-bit mantissa.
+	if (mant == 0) { return 0; }
+	while (mant >= (1 << 24)) { mant = mant >>> 1; exp++; }
+	while (mant < (1 << 23)) { mant = mant << 1; exp--; }
+	if (exp <= 0) { return 0; }
+	if (exp >= 255) { exp = 255; mant = 1 << 23; }
+	return (sign << 31) | (exp << 23) | (mant & 0x7fffff);
+}
+int fpSign(int f) { return (f >>> 31); }
+int fpExp(int f) { return (f >>> 23) & 0xff; }
+int fpMant(int f) {
+	if (fpExp(f) == 0) { return 0; }
+	return (f & 0x7fffff) | (1 << 23);
+}
+
+int fpAdd(int a, int b) {
+	if (fpExp(a) < fpExp(b)) { int t = a; a = b; b = t; }
+	int ea = fpExp(a); int eb = fpExp(b);
+	int ma = fpMant(a); int mb = fpMant(b);
+	int shift = ea - eb;
+	if (shift > 30) { return a; }
+	mb = mb >>> shift;
+	if (fpSign(a) == fpSign(b)) {
+		return fpPack(fpSign(a), ea, ma + mb);
+	}
+	int m = ma - mb;
+	int s = fpSign(a);
+	if (m < 0) { m = -m; s = 1 - s; }
+	return fpPack(s, ea, m);
+}
+
+int fpMul(int a, int b) {
+	if (fpExp(a) == 0 || fpExp(b) == 0) { return 0; }
+	long p = (long) fpMant(a) * (long) fpMant(b);
+	int mant = (int) (p >> 23);
+	int exp = fpExp(a) + fpExp(b) - 127;
+	return fpPack(fpSign(a) ^ fpSign(b), exp, mant);
+}
+
+void main() {
+	int n = 600;
+	int[] xs = new int[n];
+	for (int i = 0; i < n; i++) {
+		xs[i] = fpPack(rnd() & 1, 120 + rnd() % 16, (1 << 23) + rnd() * 64);
+	}
+	int acc = fpPack(0, 127, 1 << 23); // 1.0
+	int sum = 0;
+	for (int round = 0; round < 8; round++) {
+		for (int i = 0; i < n; i++) {
+			acc = fpMul(acc, xs[i]);
+			sum = fpAdd(sum, xs[i]);
+			if (fpExp(acc) < 8 || fpExp(acc) > 240) { acc = fpPack(0, 127, 1 << 23); }
+		}
+	}
+	print(acc);
+	print(sum);
+}
+`
+
+const srcFourier = `
+// jBYTEmark Fourier: coefficients of a periodic function by trapezoidal
+// numerical integration.
+double thefunction(double x, double omegan, int select) {
+	if (select == 0) { return x * x; }
+	if (select == 1) { return x * x * cos(omegan * x); }
+	return x * x * sin(omegan * x);
+}
+
+double trapezoid(double lo, double hi, double omegan, int select, int nsteps) {
+	double dx = (hi - lo) / nsteps;
+	double x = lo;
+	double sum = 0.5 * (thefunction(lo, omegan, select) + thefunction(hi, omegan, select));
+	for (int i = 1; i < nsteps; i++) {
+		x = x + dx;
+		sum = sum + thefunction(x, omegan, select);
+	}
+	return sum * dx;
+}
+
+void main() {
+	int ncoeffs = 25;
+	double[] abase = new double[ncoeffs];
+	double[] bbase = new double[ncoeffs];
+	double two_pi = 6.283185307179586;
+	abase[0] = trapezoid(0.0, two_pi, 0.0, 0, 100) / two_pi;
+	for (int i = 1; i < ncoeffs; i++) {
+		double omegan = i;
+		abase[i] = trapezoid(0.0, two_pi, omegan, 1, 100) * 2.0 / two_pi;
+		bbase[i] = trapezoid(0.0, two_pi, omegan, 2, 100) * 2.0 / two_pi;
+	}
+	double check = 0.0;
+	for (int i = 0; i < ncoeffs; i++) { check = check + abase[i] + bbase[i]; }
+	print(check);
+	print(abase[1]);
+	print(bbase[1]);
+}
+`
+
+const srcAssignment = `
+// jBYTEmark Assignment: the assignment problem on a cost matrix, solved with
+// row/column reduction plus a greedy augmenting assignment.
+static int seed = 5;
+int rnd() { seed = seed * 1103515245 + 12345; return (seed >>> 6) & 0x3fff; }
+
+void main() {
+	int n = 40;
+	int[] cost = new int[n * n];
+	int[] rowmin = new int[n];
+	int[] colmin = new int[n];
+	int[] assigned = new int[n];
+	int check = 0;
+	for (int round = 0; round < 12; round++) {
+		for (int i = 0; i < n * n; i++) { cost[i] = rnd() % 1000; }
+		// Row reduction.
+		for (int r = 0; r < n; r++) {
+			int m = cost[r * n];
+			for (int c = 1; c < n; c++) {
+				if (cost[r * n + c] < m) { m = cost[r * n + c]; }
+			}
+			rowmin[r] = m;
+			for (int c = 0; c < n; c++) { cost[r * n + c] -= m; }
+		}
+		// Column reduction.
+		for (int c = 0; c < n; c++) {
+			int m = cost[c];
+			for (int r = 1; r < n; r++) {
+				if (cost[r * n + c] < m) { m = cost[r * n + c]; }
+			}
+			colmin[c] = m;
+			for (int r = 0; r < n; r++) { cost[r * n + c] -= m; }
+		}
+		// Greedy assignment on zeros, then cheapest-available fallback.
+		for (int r = 0; r < n; r++) { assigned[r] = -1; }
+		for (int r = 0; r < n; r++) {
+			for (int c = 0; c < n; c++) {
+				if (cost[r * n + c] == 0) {
+					int taken = 0;
+					for (int r2 = 0; r2 < r; r2++) {
+						if (assigned[r2] == c) { taken = 1; }
+					}
+					if (taken == 0) { assigned[r] = c; break; }
+				}
+			}
+			if (assigned[r] < 0) {
+				int best = -1; int bestCost = 1 << 30;
+				for (int c = 0; c < n; c++) {
+					int taken = 0;
+					for (int r2 = 0; r2 < r; r2++) {
+						if (assigned[r2] == c) { taken = 1; }
+					}
+					if (taken == 0 && cost[r * n + c] < bestCost) {
+						bestCost = cost[r * n + c]; best = c;
+					}
+				}
+				assigned[r] = best;
+			}
+		}
+		int total = 0;
+		for (int r = 0; r < n; r++) {
+			total += cost[r * n + assigned[r]] + rowmin[r] + colmin[assigned[r]];
+		}
+		check = check * 31 + total;
+	}
+	print(check);
+}
+`
+
+const srcIDEA = `
+// jBYTEmark IDEA: the IDEA block cipher's 16-bit modular arithmetic
+// (multiplication modulo 65537) over short-sized data.
+static int seed = 17;
+int rnd() { seed = seed * 1103515245 + 12345; return (seed >>> 11) & 0xffff; }
+
+// IDEA multiplication: a*b mod 65537, with 0 standing for 65536.
+int mul(int a, int b) {
+	if (a == 0) { return (65537 - b) & 0xffff; }
+	if (b == 0) { return (65537 - a) & 0xffff; }
+	long p = (long) a * (long) b;
+	int lo = (int) (p % 65537L);
+	return lo & 0xffff;
+}
+
+void main() {
+	int blocks = 300;
+	char[] data = new char[blocks * 4];
+	char[] key = new char[52];
+	for (int i = 0; i < data.length; i++) { data[i] = (char) rnd(); }
+	for (int i = 0; i < key.length; i++) { key[i] = (char) (rnd() | 1); }
+	int check = 0;
+	for (int b = 0; b < blocks; b++) {
+		int x1 = data[b * 4];
+		int x2 = data[b * 4 + 1];
+		int x3 = data[b * 4 + 2];
+		int x4 = data[b * 4 + 3];
+		for (int round = 0; round < 8; round++) {
+			int k = round * 6;
+			x1 = mul(x1, key[k]);
+			x2 = (x2 + key[k + 1]) & 0xffff;
+			x3 = (x3 + key[k + 2]) & 0xffff;
+			x4 = mul(x4, key[k + 3]);
+			int t1 = x1 ^ x3;
+			int t2 = x2 ^ x4;
+			t1 = mul(t1, key[k + 4]);
+			t2 = (t1 + t2) & 0xffff;
+			t2 = mul(t2, key[k + 5]);
+			t1 = (t1 + t2) & 0xffff;
+			x1 = x1 ^ t2;
+			x3 = x3 ^ t2;
+			x2 = x2 ^ t1;
+			x4 = x4 ^ t1;
+		}
+		data[b * 4] = (char) x1;
+		data[b * 4 + 1] = (char) x2;
+		data[b * 4 + 2] = (char) x3;
+		data[b * 4 + 3] = (char) x4;
+		check = (check * 31 + x1 + x2 + x3 + x4) & 0xffffff;
+	}
+	print(check);
+}
+`
+
+const srcHuffman = `
+// jBYTEmark Huffman: build a Huffman tree over byte frequencies, encode the
+// buffer into a bit stream and decode it back.
+static int seed = 31;
+int rnd() { seed = seed * 1103515245 + 12345; return (seed >>> 5) & 0x7fffffff; }
+
+void main() {
+	int n = 2500;
+	byte[] text = new byte[n];
+	for (int i = 0; i < n; i++) {
+		int r = rnd() % 100;
+		// Skewed distribution over 16 symbols.
+		int sym = 0;
+		if (r < 40) { sym = 0; }
+		else if (r < 60) { sym = 1; }
+		else if (r < 72) { sym = 2; }
+		else { sym = 3 + rnd() % 13; }
+		text[i] = (byte) sym;
+	}
+	int nsym = 16;
+	int nnode = 2 * nsym - 1;
+	int[] freq = new int[nnode];
+	int[] left = new int[nnode];
+	int[] right = new int[nnode];
+	int[] parent = new int[nnode];
+	for (int i = 0; i < nnode; i++) { left[i] = -1; right[i] = -1; parent[i] = -1; }
+	for (int i = 0; i < n; i++) { freq[text[i]]++; }
+	for (int i = 0; i < nsym; i++) { freq[i]++; } // no zero freq
+	// Build the tree: repeatedly join the two smallest roots.
+	int next = nsym;
+	while (next < nnode) {
+		int a = -1; int b = -1;
+		for (int i = 0; i < next; i++) {
+			if (parent[i] < 0) {
+				if (a < 0 || freq[i] < freq[a]) { b = a; a = i; }
+				else if (b < 0 || freq[i] < freq[b]) { b = i; }
+			}
+		}
+		left[next] = a; right[next] = b;
+		parent[a] = next; parent[b] = next;
+		freq[next] = freq[a] + freq[b];
+		next++;
+	}
+	int root = nnode - 1;
+	// Per-symbol code bits (int-packed, LSB first) and lengths.
+	int[] code = new int[nsym];
+	int[] clen = new int[nsym];
+	for (int s = 0; s < nsym; s++) {
+		int bits = 0; int len = 0;
+		int node = s;
+		while (parent[node] >= 0) {
+			int p = parent[node];
+			bits = bits << 1;
+			if (right[p] == node) { bits = bits | 1; }
+			len++;
+			node = p;
+		}
+		code[s] = bits; clen[s] = len;
+	}
+	// Encode.
+	byte[] stream = new byte[n * 2];
+	int bitpos = 0;
+	for (int i = 0; i < n; i++) {
+		int s = text[i];
+		int bits = code[s];
+		for (int k = 0; k < clen[s]; k++) {
+			if ((bits & 1) != 0) {
+				stream[bitpos >> 3] = (byte) (stream[bitpos >> 3] | (1 << (bitpos & 7)));
+			}
+			bits = bits >> 1;
+			bitpos++;
+		}
+	}
+	// Decode and verify.
+	int errors = 0;
+	int pos = 0;
+	for (int i = 0; i < n; i++) {
+		int node = root;
+		while (left[node] >= 0) {
+			int bit = (stream[pos >> 3] >> (pos & 7)) & 1;
+			if (bit != 0) { node = right[node]; } else { node = left[node]; }
+			pos++;
+		}
+		if (node != text[i]) { errors++; }
+	}
+	print(errors);
+	print(bitpos);
+}
+`
+
+const srcNeuralNet = `
+// jBYTEmark Neural Net: back-propagation training of a small feed-forward
+// network; weight matrices flattened into 1D arrays (i*cols + j subscripts).
+static int seed = 41;
+int rnd() { seed = seed * 1103515245 + 12345; return (seed >>> 8) & 0xffff; }
+double rndw() { return (rnd() - 32768) / 65536.0; }
+
+double sigmoid(double x) { return 1.0 / (1.0 + exp(-x)); }
+
+void main() {
+	int nin = 8; int nhid = 8; int nout = 4;
+	double[] w1 = new double[nin * nhid];
+	double[] w2 = new double[nhid * nout];
+	double[] hid = new double[nhid];
+	double[] out = new double[nout];
+	double[] dout = new double[nout];
+	double[] dhid = new double[nhid];
+	double[] in = new double[nin];
+	double[] want = new double[nout];
+	for (int i = 0; i < w1.length; i++) { w1[i] = rndw(); }
+	for (int i = 0; i < w2.length; i++) { w2[i] = rndw(); }
+	double rate = 0.4;
+	double err = 0.0;
+	for (int epoch = 0; epoch < 60; epoch++) {
+		err = 0.0;
+		for (int pat = 0; pat < 8; pat++) {
+			for (int i = 0; i < nin; i++) { in[i] = ((pat >> (i & 3)) & 1); }
+			for (int o = 0; o < nout; o++) { want[o] = ((pat >> o) & 1); }
+			// Forward.
+			for (int h = 0; h < nhid; h++) {
+				double s = 0.0;
+				for (int i = 0; i < nin; i++) { s = s + in[i] * w1[i * nhid + h]; }
+				hid[h] = sigmoid(s);
+			}
+			for (int o = 0; o < nout; o++) {
+				double s = 0.0;
+				for (int h = 0; h < nhid; h++) { s = s + hid[h] * w2[h * nout + o]; }
+				out[o] = sigmoid(s);
+			}
+			// Backward.
+			for (int o = 0; o < nout; o++) {
+				double e = want[o] - out[o];
+				err = err + e * e;
+				dout[o] = e * out[o] * (1.0 - out[o]);
+			}
+			for (int h = 0; h < nhid; h++) {
+				double s = 0.0;
+				for (int o = 0; o < nout; o++) { s = s + dout[o] * w2[h * nout + o]; }
+				dhid[h] = s * hid[h] * (1.0 - hid[h]);
+			}
+			for (int h = 0; h < nhid; h++) {
+				for (int o = 0; o < nout; o++) {
+					w2[h * nout + o] = w2[h * nout + o] + rate * dout[o] * hid[h];
+				}
+			}
+			for (int i = 0; i < nin; i++) {
+				for (int h = 0; h < nhid; h++) {
+					w1[i * nhid + h] = w1[i * nhid + h] + rate * dhid[h] * in[i];
+				}
+			}
+		}
+	}
+	print(err);
+}
+`
+
+const srcLUDecomp = `
+// jBYTEmark LU Decomposition: Crout factorization with partial pivoting and
+// back substitution, matrices flattened to 1D.
+static int seed = 3;
+int rnd() { seed = seed * 1103515245 + 12345; return (seed >>> 9) & 0xfff; }
+
+void main() {
+	int n = 24;
+	double[] a = new double[n * n];
+	double[] b = new double[n];
+	int[] piv = new int[n];
+	double check = 0.0;
+	for (int round = 0; round < 10; round++) {
+		for (int i = 0; i < n; i++) {
+			for (int j = 0; j < n; j++) { a[i * n + j] = (rnd() % 1000) / 100.0 + 0.01; }
+			a[i * n + i] = a[i * n + i] + 50.0; // diagonally dominant
+			b[i] = rnd() % 100;
+			piv[i] = i;
+		}
+		// LU factorization with partial pivoting.
+		for (int k = 0; k < n; k++) {
+			int p = k;
+			double maxv = fabs(a[k * n + k]);
+			for (int i = k + 1; i < n; i++) {
+				double v = fabs(a[i * n + k]);
+				if (v > maxv) { maxv = v; p = i; }
+			}
+			if (p != k) {
+				for (int j = 0; j < n; j++) {
+					double t = a[k * n + j]; a[k * n + j] = a[p * n + j]; a[p * n + j] = t;
+				}
+				double tb = b[k]; b[k] = b[p]; b[p] = tb;
+			}
+			for (int i = k + 1; i < n; i++) {
+				double f = a[i * n + k] / a[k * n + k];
+				a[i * n + k] = f;
+				for (int j = k + 1; j < n; j++) {
+					a[i * n + j] = a[i * n + j] - f * a[k * n + j];
+				}
+			}
+		}
+		// Forward then back substitution.
+		for (int i = 1; i < n; i++) {
+			double s = b[i];
+			for (int j = 0; j < i; j++) { s = s - a[i * n + j] * b[j]; }
+			b[i] = s;
+		}
+		for (int i = n - 1; i >= 0; i--) {
+			double s = b[i];
+			for (int j = i + 1; j < n; j++) { s = s - a[i * n + j] * b[j]; }
+			b[i] = s / a[i * n + i];
+		}
+		double sum = 0.0;
+		for (int i = 0; i < n; i++) { sum = sum + b[i]; }
+		check = check + sum;
+	}
+	print(check);
+}
+`

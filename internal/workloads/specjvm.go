@@ -1,0 +1,436 @@
+package workloads
+
+// The seven SPECjvm98 kernels, reproducing each benchmark's characteristic
+// operation mix: mtrt's double-heavy ray intersections, jess's rule-matching
+// table scans, compress's LZW byte/hash loops, db's record sorting and
+// searching, mpegaudio's filter bank, jack's table-driven parsing and
+// javac's scanning plus hashed symbol tables.
+
+const srcMtrt = `
+// mtrt: ray-sphere intersection over a small scene, flattened double arrays.
+static int seed = 11;
+int rnd() { seed = seed * 1103515245 + 12345; return (seed >>> 8) & 0xffff; }
+double rndd() { return (rnd() - 32768) / 8192.0; }
+
+void main() {
+	int nsph = 16;
+	double[] cx = new double[nsph];
+	double[] cy = new double[nsph];
+	double[] cz = new double[nsph];
+	double[] rad = new double[nsph];
+	for (int i = 0; i < nsph; i++) {
+		cx[i] = rndd(); cy[i] = rndd(); cz[i] = rndd();
+		rad[i] = 0.5 + (rnd() % 100) / 50.0;
+	}
+	int width = 40; int height = 30;
+	int hits = 0;
+	double depthsum = 0.0;
+	for (int py = 0; py < height; py++) {
+		for (int px = 0; px < width; px++) {
+			// Ray from the origin through the pixel.
+			double dx = (px - width / 2) / 10.0;
+			double dy = (py - height / 2) / 10.0;
+			double dz = 1.0;
+			double norm = sqrt(dx * dx + dy * dy + dz * dz);
+			dx = dx / norm; dy = dy / norm; dz = dz / norm;
+			double best = 1.0e30;
+			int bestIdx = -1;
+			for (int s = 0; s < nsph; s++) {
+				double ox = cx[s]; double oy = cy[s]; double oz = cz[s];
+				double b = ox * dx + oy * dy + oz * dz;
+				double c = ox * ox + oy * oy + oz * oz - rad[s] * rad[s];
+				double disc = b * b - c;
+				if (disc > 0.0) {
+					double t = b - sqrt(disc);
+					if (t > 0.001 && t < best) { best = t; bestIdx = s; }
+				}
+			}
+			if (bestIdx >= 0) { hits++; depthsum = depthsum + best; }
+		}
+	}
+	print(hits);
+	print(depthsum);
+}
+`
+
+const srcJess = `
+// jess: rule matching — facts as int tuples, rules as condition tables,
+// repeated join scans with early exits.
+static int seed = 23;
+int rnd() { seed = seed * 1103515245 + 12345; return (seed >>> 7) & 0x7fff; }
+
+void main() {
+	int nfacts = 220;
+	int nrules = 40;
+	// Facts: (kind, a, b); rules: (kindWanted, minA, maxB, action).
+	int[] fkind = new int[nfacts];
+	int[] fa = new int[nfacts];
+	int[] fb = new int[nfacts];
+	int[] rkind = new int[nrules];
+	int[] rmin = new int[nrules];
+	int[] rmax = new int[nrules];
+	int[] fired = new int[nrules];
+	for (int i = 0; i < nfacts; i++) {
+		fkind[i] = rnd() % 8;
+		fa[i] = rnd() % 100;
+		fb[i] = rnd() % 100;
+	}
+	for (int r = 0; r < nrules; r++) {
+		rkind[r] = rnd() % 8;
+		rmin[r] = rnd() % 50;
+		rmax[r] = 50 + rnd() % 50;
+	}
+	int agenda = 0;
+	for (int cycle = 0; cycle < 25; cycle++) {
+		for (int r = 0; r < nrules; r++) {
+			int matches = 0;
+			for (int i = 0; i < nfacts; i++) {
+				if (fkind[i] == rkind[r] && fa[i] >= rmin[r] && fb[i] <= rmax[r]) {
+					// Join against a second fact with the complement kind.
+					for (int j = 0; j < nfacts; j++) {
+						if (fkind[j] == (7 - rkind[r]) && fa[j] + fb[i] > 100) {
+							matches++;
+							break;
+						}
+					}
+				}
+			}
+			if (matches > 0) {
+				fired[r] += matches;
+				agenda = agenda + matches;
+				// The fired rule mutates one fact (working memory change).
+				int v = (fired[r] + cycle) % nfacts;
+				fa[v] = (fa[v] + 7) % 100;
+			}
+		}
+	}
+	int check = 0;
+	for (int r = 0; r < nrules; r++) { check = check * 31 + fired[r]; }
+	print(agenda);
+	print(check);
+}
+`
+
+const srcCompress = `
+// compress: LZW compression over a byte buffer with an open-addressed hash
+// table of (prefix, char) -> code, then decompression and verification.
+static int seed = 29;
+int rnd() { seed = seed * 1103515245 + 12345; return (seed >>> 6) & 0x7fffffff; }
+
+void main() {
+	int n = 3000;
+	byte[] input = new byte[n];
+	for (int i = 0; i < n; i++) {
+		// Compressible: runs plus a small alphabet.
+		int r = rnd() % 10;
+		if (r < 6 && i > 0) { input[i] = input[i - 1]; }
+		else { input[i] = (byte) (65 + rnd() % 8); }
+	}
+	int tabSize = 4096;
+	int hashSize = 8192;
+	int[] hashKey = new int[hashSize];   // packed (prefix<<9)|ch, -1 empty
+	int[] hashVal = new int[hashSize];
+	int[] codePrefix = new int[tabSize];
+	int[] codeChar = new int[tabSize];
+	int[] output = new int[n + 16];
+	for (int i = 0; i < hashSize; i++) { hashKey[i] = -1; }
+	int nextCode = 256;
+	int outPos = 0;
+	int prefix = input[0] & 0xff;
+	for (int i = 1; i < n; i++) {
+		int ch = input[i] & 0xff;
+		int key = (prefix << 9) | ch;
+		int h = (key * 40503) & (hashSize - 1);
+		int found = -1;
+		while (hashKey[h] != -1) {
+			if (hashKey[h] == key) { found = hashVal[h]; break; }
+			h = (h + 1) & (hashSize - 1);
+		}
+		if (found >= 0) {
+			prefix = found;
+		} else {
+			output[outPos] = prefix; outPos++;
+			if (nextCode < tabSize) {
+				hashKey[h] = key;
+				hashVal[h] = nextCode;
+				codePrefix[nextCode] = prefix;
+				codeChar[nextCode] = ch;
+				nextCode++;
+			}
+			prefix = ch;
+		}
+	}
+	output[outPos] = prefix; outPos++;
+	// Decompress into a scratch buffer and verify.
+	byte[] decoded = new byte[n + 256];
+	byte[] stack = new byte[512];
+	int dpos = 0;
+	for (int o = 0; o < outPos; o++) {
+		int code = output[o];
+		int sp = 0;
+		while (code >= 256) {
+			stack[sp] = (byte) codeChar[code];
+			sp++;
+			code = codePrefix[code];
+		}
+		decoded[dpos] = (byte) code; dpos++;
+		while (sp > 0) { sp--; decoded[dpos] = stack[sp]; dpos++; }
+	}
+	int errors = 0;
+	for (int i = 0; i < n; i++) { if (decoded[i] != input[i]) { errors++; } }
+	print(outPos);
+	print(errors);
+}
+`
+
+const srcDb = `
+// db: an in-memory database of string-keyed records — names live in a byte
+// pool, the index is shell-sorted by lexicographic key comparison, and
+// queries do binary search plus field updates (the SPECjvm98 db shape).
+static int seed = 37;
+int rnd() { seed = seed * 1103515245 + 12345; return (seed >>> 8) & 0xffff; }
+
+// Lexicographic compare of two fixed-width (8-byte) keys in the pool.
+int keyCmp(byte[] pool, int ra, int rb) {
+	int oa = ra * 8;
+	int ob = rb * 8;
+	for (int k = 0; k < 8; k++) {
+		int ca = pool[oa + k] & 0xff;
+		int cb = pool[ob + k] & 0xff;
+		if (ca != cb) { return ca - cb; }
+	}
+	return 0;
+}
+
+void main() {
+	int nrec = 420;
+	int nfield = 3;
+	byte[] keys = new byte[nrec * 8];
+	int[] fields = new int[nrec * nfield];
+	int[] index = new int[nrec];
+	for (int i = 0; i < nrec; i++) {
+		for (int k = 0; k < 8; k++) { keys[i * 8 + k] = (byte) (97 + rnd() % 26); }
+		fields[i * nfield] = rnd() % 1000;
+		fields[i * nfield + 1] = rnd() % 100;
+		fields[i * nfield + 2] = 0;
+		index[i] = i;
+	}
+	// Shell sort the index by key.
+	int gap = nrec / 2;
+	while (gap > 0) {
+		for (int i = gap; i < nrec; i++) {
+			int tmp = index[i];
+			int j = i;
+			while (j >= gap && keyCmp(keys, index[j - gap], tmp) > 0) {
+				index[j] = index[j - gap];
+				j = j - gap;
+			}
+			index[j] = tmp;
+		}
+		gap = gap / 2;
+	}
+	// Queries: binary search for a probe record, then touch a window.
+	int touched = 0;
+	for (int q = 0; q < 250; q++) {
+		int probe = rnd() % nrec;
+		int lo = 0; int hi = nrec - 1;
+		while (lo < hi) {
+			int mid = (lo + hi) / 2;
+			if (keyCmp(keys, index[mid], probe) < 0) { lo = mid + 1; } else { hi = mid; }
+		}
+		int from = lo - 3;
+		if (from < 0) { from = 0; }
+		int to = lo + 3;
+		if (to > nrec) { to = nrec; }
+		for (int k = from; k < to; k++) {
+			int rec = index[k];
+			fields[rec * nfield + 2] = fields[rec * nfield + 2] + 1;
+			touched++;
+		}
+	}
+	int check = 0;
+	for (int i = 0; i < nrec; i++) { check = check * 17 + fields[i * nfield + 2]; }
+	for (int i = 0; i < nrec; i++) { check = check * 3 + keys[index[i] * 8]; }
+	print(touched);
+	print(check);
+}
+`
+
+const srcMpegaudio = `
+// mpegaudio: polyphase filter bank — windowed dot products over a circular
+// sample buffer, with fixed-point butterflies on ints.
+static int seed = 43;
+int rnd() { seed = seed * 1103515245 + 12345; return (seed >>> 9) & 0xffff; }
+
+void main() {
+	int nwin = 512;
+	int nsub = 32;
+	double[] window = new double[nwin];
+	double[] buf = new double[nwin];
+	double[] sub = new double[nsub];
+	int[] pcm = new int[1152];
+	for (int i = 0; i < nwin; i++) {
+		window[i] = sin(i * 0.0122718) / (1.0 + i * 0.002);
+	}
+	for (int i = 0; i < pcm.length; i++) { pcm[i] = rnd() - 32768; }
+	int bufPos = 0;
+	double energy = 0.0;
+	for (int frame = 0; frame < 12; frame++) {
+		// Shift 32 new samples into the circular buffer.
+		for (int s = 0; s < 32; s++) {
+			buf[bufPos] = pcm[(frame * 32 + s) % pcm.length] / 32768.0;
+			bufPos = (bufPos + 1) % nwin;
+		}
+		// Subband dot products.
+		for (int sb = 0; sb < nsub; sb++) {
+			double acc = 0.0;
+			for (int k = 0; k < 16; k++) {
+				int idx = (bufPos + sb * 16 + k) % nwin;
+				acc = acc + buf[idx] * window[(sb * 16 + k) % nwin];
+			}
+			sub[sb] = acc;
+			energy = energy + acc * acc;
+		}
+		// Fixed-point butterfly pass over the subbands.
+		int[] fx = new int[nsub];
+		for (int sb = 0; sb < nsub; sb++) { fx[sb] = (int) (sub[sb] * 65536.0); }
+		for (int stride = 1; stride < nsub; stride = stride * 2) {
+			for (int i = 0; i < nsub; i += stride * 2) {
+				for (int k = 0; k < stride; k++) {
+					int a = fx[i + k];
+					int b = fx[i + k + stride];
+					fx[i + k] = (a + b) >> 1;
+					fx[i + k + stride] = (a - b) >> 1;
+				}
+			}
+		}
+		energy = energy + fx[0] / 65536.0;
+	}
+	print(energy);
+}
+`
+
+const srcJack = `
+// jack: table-driven parser generator run — a DFA over a token stream with
+// action tables, nested productions tracked on an int stack.
+static int seed = 47;
+int rnd() { seed = seed * 1103515245 + 12345; return (seed >>> 10) & 0x3fff; }
+
+void main() {
+	int nstates = 64;
+	int nsyms = 16;
+	int[] trans = new int[nstates * nsyms];
+	byte[] action = new byte[nstates * nsyms];
+	for (int i = 0; i < trans.length; i++) {
+		trans[i] = rnd() % nstates;
+		action[i] = (byte) (rnd() % 5);
+	}
+	int ntok = 4000;
+	byte[] tokens = new byte[ntok];
+	for (int i = 0; i < ntok; i++) { tokens[i] = (byte) (rnd() % nsyms); }
+	int[] stack = new int[256];
+	int sp = 0;
+	int state = 0;
+	int reduces = 0;
+	int shifts = 0;
+	int errors = 0;
+	for (int i = 0; i < ntok; i++) {
+		int sym = tokens[i];
+		int cell = state * nsyms + sym;
+		int act = action[cell];
+		if (act == 0 || act == 1) {
+			// shift
+			if (sp < 255) { stack[sp] = state; sp++; }
+			shifts++;
+		} else if (act == 2 || act == 3) {
+			// reduce: pop a rule-length prefix
+			int len = 1 + (sym & 3);
+			while (len > 0 && sp > 0) { sp--; len--; }
+			reduces++;
+		} else {
+			// error recovery: reset
+			sp = 0;
+			errors++;
+		}
+		state = trans[cell];
+	}
+	print(shifts);
+	print(reduces);
+	print(errors);
+	print(state + sp);
+}
+`
+
+const srcJavac = `
+// javac: scanner plus hashed symbol table — tokenize a synthetic source
+// buffer, intern identifiers, count token classes.
+static int seed = 53;
+int rnd() { seed = seed * 1103515245 + 12345; return (seed >>> 5) & 0x7fffffff; }
+
+void main() {
+	int n = 5000;
+	byte[] src = new byte[n];
+	// Synthesize identifier/number/operator soup.
+	int p = 0;
+	while (p < n - 12) {
+		int kind = rnd() % 10;
+		if (kind < 5) {
+			int len = 2 + rnd() % 6;
+			for (int k = 0; k < len && p < n; k++) { src[p] = (byte) (97 + rnd() % 12); p++; }
+		} else if (kind < 8) {
+			int len = 1 + rnd() % 5;
+			for (int k = 0; k < len && p < n; k++) { src[p] = (byte) (48 + rnd() % 10); p++; }
+		} else {
+			src[p] = (byte) (40 + rnd() % 8); p++;
+		}
+		if (p < n) { src[p] = 32; p++; }
+	}
+	while (p < n) { src[p] = 32; p++; }
+	// Scan.
+	int hashSize = 4096;
+	int[] symHash = new int[hashSize];  // interned identifier hash, 0 empty
+	int[] symCount = new int[hashSize];
+	int idents = 0; int numbers = 0; int ops = 0; int uniques = 0;
+	int pos = 0;
+	while (pos < n) {
+		int c = src[pos] & 0xff;
+		if (c == 32) { pos++; }
+		else if (c >= 97 && c <= 122) {
+			int h = 0;
+			while (pos < n) {
+				c = src[pos] & 0xff;
+				if (c < 97 || c > 122) { break; }
+				h = h * 31 + c;
+				pos++;
+			}
+			h = h & 0x7fffffff;
+			if (h == 0) { h = 1; }
+			int slot = h & (hashSize - 1);
+			while (symHash[slot] != 0 && symHash[slot] != h) { slot = (slot + 1) & (hashSize - 1); }
+			if (symHash[slot] == 0) { symHash[slot] = h; uniques++; }
+			symCount[slot]++;
+			idents++;
+		} else if (c >= 48 && c <= 57) {
+			long v = 0;
+			while (pos < n) {
+				c = src[pos] & 0xff;
+				if (c < 48 || c > 57) { break; }
+				v = v * 10 + (c - 48);
+				pos++;
+			}
+			numbers++;
+			if (v > 100000L) { numbers++; }
+		} else {
+			ops++;
+			pos++;
+		}
+	}
+	int check = 0;
+	for (int i = 0; i < hashSize; i++) { check = check * 13 + symCount[i]; }
+	print(idents);
+	print(numbers);
+	print(ops);
+	print(uniques);
+	print(check);
+}
+`

@@ -1,0 +1,47 @@
+// Package workloads provides the benchmark programs of the paper's
+// evaluation: MiniJava kernels reproducing the operation mixes of the
+// jBYTEmark and SPECjvm98 suites (Tables 1 and 2, Figures 11-14). Each
+// kernel prints checksums, which the harness uses to validate that every
+// compiler variant preserves behaviour.
+package workloads
+
+// Workload is one benchmark program.
+type Workload struct {
+	Name   string // paper's benchmark name
+	Suite  string // "jbytemark" or "specjvm98"
+	Source string // MiniJava source
+}
+
+// JBYTEmark returns the ten jBYTEmark kernels in the paper's column order.
+func JBYTEmark() []Workload {
+	return []Workload{
+		{"Numeric Sort", "jbytemark", srcNumericSort},
+		{"String Sort", "jbytemark", srcStringSort},
+		{"Bitfield", "jbytemark", srcBitfield},
+		{"FP Emu.", "jbytemark", srcFPEmu},
+		{"Fourier", "jbytemark", srcFourier},
+		{"Assignment", "jbytemark", srcAssignment},
+		{"IDEA", "jbytemark", srcIDEA},
+		{"Huffman", "jbytemark", srcHuffman},
+		{"Neural Net", "jbytemark", srcNeuralNet},
+		{"LU Decom.", "jbytemark", srcLUDecomp},
+	}
+}
+
+// SPECjvm98 returns the seven SPECjvm98 kernels in the paper's column order.
+func SPECjvm98() []Workload {
+	return []Workload{
+		{"mtrt", "specjvm98", srcMtrt},
+		{"jess", "specjvm98", srcJess},
+		{"compress", "specjvm98", srcCompress},
+		{"db", "specjvm98", srcDb},
+		{"mpegaudio", "specjvm98", srcMpegaudio},
+		{"jack", "specjvm98", srcJack},
+		{"javac", "specjvm98", srcJavac},
+	}
+}
+
+// All returns every workload, jBYTEmark first.
+func All() []Workload {
+	return append(JBYTEmark(), SPECjvm98()...)
+}

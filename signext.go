@@ -1,0 +1,169 @@
+// Package signext is a from-scratch reproduction of "Effective Sign
+// Extension Elimination" (Kawahito, Komatsu, Nakatani; PLDI 2002): a
+// JIT-style compiler pipeline for 64-bit targets that generates sign
+// extensions after every narrow definition, then removes almost all of them
+// using UD/DU chains, frequency-ordered elimination, extension insertion,
+// and the array-subscript theorems enabled by Java-like language rules.
+//
+// The package is a facade over the internal compiler:
+//
+//	res, err := signext.CompileSource(src, signext.Options{Variant: signext.VariantAll})
+//	run, err := res.Run()
+//	fmt.Println(run.Output, run.DynamicExts)
+//
+// Programs are written in MiniJava (see internal/minijava) or built directly
+// with the IR builder (internal/ir) and compiled with CompileProgram.
+package signext
+
+import (
+	"signext/internal/interp"
+	"signext/internal/ir"
+	"signext/internal/jit"
+	"signext/internal/minijava"
+	"signext/internal/target"
+)
+
+// Variant selects the algorithm configuration, matching the paper's Tables 1
+// and 2 rows.
+type Variant = jit.Variant
+
+// The measured variants.
+const (
+	VariantBaseline    = jit.Baseline
+	VariantGenUse      = jit.GenUse
+	VariantFirst       = jit.FirstAlgorithm
+	VariantBasicUDDU   = jit.BasicUDDU
+	VariantInsert      = jit.Insert
+	VariantOrder       = jit.Order
+	VariantInsertOrder = jit.InsertOrder
+	VariantArray       = jit.Array
+	VariantArrayInsert = jit.ArrayInsert
+	VariantArrayOrder  = jit.ArrayOrder
+	VariantAllPDE      = jit.AllPDE
+	VariantAll         = jit.All
+)
+
+// Variants lists every variant in the paper's table order.
+var Variants = jit.Variants
+
+// Machine selects the target model.
+type Machine = ir.Machine
+
+// Supported machine models (section 4: IA64 zero-extends loads, PPC64
+// sign-extends them).
+const (
+	IA64  = ir.IA64
+	PPC64 = ir.PPC64
+)
+
+// Options configures a compilation.
+type Options struct {
+	Variant     Variant
+	Machine     Machine
+	MaxArrayLen int64 // the language's maxlen; 0 means Java's 0x7fffffff
+	NoGeneral   bool  // disable the Figure 5 step (2) general optimizations
+	WithProfile bool  // run the interpreter tier first for branch profiles
+}
+
+// Result is a compiled program.
+type Result struct {
+	res *jit.Result
+	src *ir.Program
+}
+
+// StaticExts returns the number of extension instructions left in the code.
+func (r *Result) StaticExts() int { return r.res.StaticExts }
+
+// Eliminated returns how many extensions the optimizer removed.
+func (r *Result) Eliminated() int { return r.res.Stats.Eliminated }
+
+// Inserted returns how many extensions the insertion phase added.
+func (r *Result) Inserted() int { return r.res.Stats.Inserted }
+
+// IR returns the compiled program for inspection.
+func (r *Result) IR() *ir.Program { return r.res.Prog }
+
+// Format renders a compiled function as IR text.
+func (r *Result) Format(fn string) string {
+	f := r.res.Prog.Func(fn)
+	if f == nil {
+		return ""
+	}
+	return f.Format()
+}
+
+// Assembly lowers a compiled function to the machine model's instructions.
+func (r *Result) Assembly(fn string) string {
+	f := r.res.Prog.Func(fn)
+	if f == nil {
+		return ""
+	}
+	return target.Lower(f, r.res.Options.Machine).Format()
+}
+
+// RunResult is the outcome of executing a compiled program.
+type RunResult struct {
+	Output      string
+	DynamicExts int64 // executed 32-bit sign extensions (Tables 1/2 metric)
+	AllExts     int64 // executed extensions of every width
+	Cycles      int64 // modelled machine cycles
+	Steps       int64
+}
+
+// Run executes the compiled program's main function on the 64-bit machine
+// model.
+func (r *Result) Run() (*RunResult, error) {
+	out, err := jit.Execute(r.res, "main")
+	rr := &RunResult{}
+	if out != nil {
+		rr.Output = out.Output
+		rr.DynamicExts = out.Ext32()
+		rr.AllExts = out.ExtTotal()
+		rr.Cycles = out.Cycles
+		rr.Steps = out.Steps
+	}
+	return rr, err
+}
+
+// ReferenceRun executes the original (unconverted) program under 32-bit
+// semantics — the oracle the optimized program must match.
+func (r *Result) ReferenceRun() (string, error) {
+	out, err := interp.Run(r.src, "main", interp.Options{Mode: interp.Mode32})
+	if err != nil {
+		return "", err
+	}
+	return out.Output, nil
+}
+
+// CompileSource compiles MiniJava source under the given options.
+func CompileSource(src string, o Options) (*Result, error) {
+	cu, err := minijava.Compile(src)
+	if err != nil {
+		return nil, err
+	}
+	return CompileProgram(cu.Prog, o)
+}
+
+// CompileProgram compiles an IR program (in 32-bit form) under the given
+// options. The input program is not modified.
+func CompileProgram(prog *ir.Program, o Options) (*Result, error) {
+	var profile interp.Profile
+	if o.WithProfile {
+		p, err := jit.ProfileRun(prog, "main", 0)
+		if err != nil {
+			return nil, err
+		}
+		profile = p
+	}
+	res, err := jit.Compile(prog, jit.Options{
+		Variant:     o.Variant,
+		Machine:     o.Machine,
+		MaxArrayLen: o.MaxArrayLen,
+		GeneralOpts: !o.NoGeneral,
+		Profile:     profile,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Result{res: res, src: prog}, nil
+}

@@ -1,0 +1,84 @@
+package signext_test
+
+import (
+	"strings"
+	"testing"
+
+	"signext"
+)
+
+const apiSrc = `
+int sum(int[] a) {
+	int t = 0;
+	for (int i = 0; i < a.length; i++) { t += a[i]; }
+	return t;
+}
+void main() {
+	int[] a = new int[128];
+	for (int i = 0; i < a.length; i++) { a[i] = i * 17 - 1000; }
+	print(sum(a));
+	double d = sum(a);
+	print(d / 4.0);
+}`
+
+func TestFacadeEndToEnd(t *testing.T) {
+	res, err := signext.CompileSource(apiSrc, signext.Options{
+		Variant: signext.VariantAll, Machine: signext.IA64, WithProfile: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := res.ReferenceRun()
+	if err != nil {
+		t.Fatal(err)
+	}
+	run, err := res.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if run.Output != ref {
+		t.Fatalf("optimized output diverged:\nref %q\ngot %q", ref, run.Output)
+	}
+	if res.Eliminated() == 0 {
+		t.Fatal("nothing eliminated")
+	}
+	if run.Cycles == 0 || run.Steps == 0 {
+		t.Fatal("no execution accounting")
+	}
+	if !strings.Contains(res.Format("sum"), "func sum") {
+		t.Fatal("Format broken")
+	}
+	if !strings.Contains(res.Assembly("sum"), "cmp4") {
+		t.Fatal("Assembly broken")
+	}
+}
+
+func TestFacadeVariantSweep(t *testing.T) {
+	var baseline int64 = -1
+	for _, v := range signext.Variants {
+		res, err := signext.CompileSource(apiSrc, signext.Options{Variant: v, Machine: signext.IA64})
+		if err != nil {
+			t.Fatalf("%v: %v", v, err)
+		}
+		run, err := res.Run()
+		if err != nil {
+			t.Fatalf("%v: %v", v, err)
+		}
+		if v == signext.VariantBaseline {
+			baseline = run.DynamicExts
+		}
+		if v == signext.VariantAll && run.DynamicExts*4 > baseline {
+			t.Fatalf("full algorithm left %d of %d dynamic extensions", run.DynamicExts, baseline)
+		}
+	}
+}
+
+func TestFacadeCompileError(t *testing.T) {
+	_, err := signext.CompileSource("void main() { undeclared = 1; }", signext.Options{})
+	if err == nil {
+		t.Fatal("frontend error not surfaced")
+	}
+	if !strings.Contains(err.Error(), "undeclared") && !strings.Contains(err.Error(), "undefined") {
+		t.Fatalf("unhelpful error: %v", err)
+	}
+}
