@@ -7,8 +7,12 @@
 //	sxelim -variant baseline prog.mj    # pick a Table 1/2 variant
 //	sxelim -dump prog.mj                # print the optimized IR
 //	sxelim -asm prog.mj                 # print the lowered machine code
+//	sxelim -check prog.mj               # guarded pipeline + differential oracle
 //	sxelim -compare prog.mj             # dynamic counts under all variants
 //	sxelim prog.ir                      # compile textual IR (ir.ParseProgram)
+//
+// Any failure — bad input, compile error, oracle divergence — exits with
+// code 1 and a one-line diagnostic; sxelim never surfaces a panic.
 package main
 
 import (
@@ -37,7 +41,35 @@ var variantFlags = map[string]signext.Variant{
 	"all":          signext.VariantAll,
 }
 
+// usageError distinguishes command-line mistakes (exit 2) from input or
+// compilation failures (exit 1).
+type usageError string
+
+func (e usageError) Error() string { return string(e) }
+
 func main() {
+	err := func() (err error) {
+		// The guarded pipeline already converts phase panics into per-function
+		// fallbacks; this is the last line of defense for everything else
+		// (frontend, flag handling, printing), so a user never sees a stack
+		// trace from a one-line diagnostic tool.
+		defer func() {
+			if r := recover(); r != nil {
+				err = fmt.Errorf("internal error: %v", r)
+			}
+		}()
+		return run()
+	}()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sxelim:", err)
+		if _, ok := err.(usageError); ok {
+			os.Exit(2)
+		}
+		os.Exit(1)
+	}
+}
+
+func run() error {
 	variant := flag.String("variant", "all", "algorithm variant (baseline, genuse, first, basic, insert, order, insert-order, array, array-insert, array-order, all-pde, all)")
 	machine := flag.String("machine", "ia64", "machine model: ia64 or ppc64")
 	dump := flag.Bool("dump", false, "print the optimized IR")
@@ -47,16 +79,16 @@ func main() {
 	run := flag.Bool("run", true, "execute the compiled program")
 	compare := flag.Bool("compare", false, "report dynamic extension counts under every variant")
 	profile := flag.Bool("profile", true, "use interpreter branch profiles for order determination")
+	check := flag.Bool("check", false, "guarded pipeline: verify IR at phase boundaries and run the differential oracle")
+	budget := flag.Int("budget", 0, "per-function elimination work budget (0 = unlimited)")
 	flag.Parse()
 
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: sxelim [flags] file.mj")
-		os.Exit(2)
+		return usageError("usage: sxelim [flags] file.mj")
 	}
 	srcBytes, err := os.ReadFile(flag.Arg(0))
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "sxelim:", err)
-		os.Exit(1)
+		return err
 	}
 	src := string(srcBytes)
 
@@ -65,15 +97,25 @@ func main() {
 	if strings.HasSuffix(flag.Arg(0), ".ir") {
 		irProg, err = ir.ParseProgram(src)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "sxelim:", err)
-			os.Exit(1)
+			return err
 		}
 	}
 	compile := func(o signext.Options) (*signext.Result, error) {
-		if irProg != nil {
-			return signext.CompileProgram(irProg, o)
+		o.Checked = o.Checked || *check
+		o.CheckedRun = o.CheckedRun || *check
+		o.ElimBudget = *budget
+		res, err := func() (res *signext.Result, err error) {
+			if irProg != nil {
+				return signext.CompileProgram(irProg, o)
+			}
+			return signext.CompileSource(src, o)
+		}()
+		if res != nil {
+			for _, fb := range res.Fallbacks() {
+				fmt.Fprintf(os.Stderr, "sxelim: fallback: %s disabled for %s: %s\n", fb.Phase, fb.Func, fb.Reason)
+			}
 		}
-		return signext.CompileSource(src, o)
+		return res, err
 	}
 
 	mach := signext.IA64
@@ -82,8 +124,7 @@ func main() {
 	}
 	v, ok := variantFlags[*variant]
 	if !ok {
-		fmt.Fprintln(os.Stderr, "sxelim: unknown variant", *variant)
-		os.Exit(2)
+		return usageError("unknown variant " + *variant)
 	}
 
 	if *compare {
@@ -93,13 +134,11 @@ func main() {
 				Variant: vv, Machine: mach, WithProfile: *profile,
 			})
 			if err != nil {
-				fmt.Fprintln(os.Stderr, "sxelim:", err)
-				os.Exit(1)
+				return fmt.Errorf("%v: %w", vv, err)
 			}
 			rr, err := res.Run()
 			if err != nil {
-				fmt.Fprintln(os.Stderr, "sxelim:", vv, "execution failed:", err)
-				os.Exit(1)
+				return fmt.Errorf("%v: execution failed: %w", vv, err)
 			}
 			if vv == signext.VariantBaseline {
 				base = rr.DynamicExts
@@ -111,18 +150,20 @@ func main() {
 			fmt.Printf("%-28s dyn ext32 %12d (%6.2f%%)  static %4d  cycles %12d\n",
 				vv, rr.DynamicExts, pct, res.StaticExts(), rr.Cycles)
 		}
-		return
+		return nil
 	}
 
 	res, err := compile(signext.Options{
 		Variant: v, Machine: mach, WithProfile: *profile,
 	})
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "sxelim:", err)
-		os.Exit(1)
+		return err
 	}
 	fmt.Printf("variant %s, machine %s: %d extensions eliminated, %d inserted, %d remain\n",
 		v, mach, res.Eliminated(), res.Inserted(), res.StaticExts())
+	if *check {
+		fmt.Println("oracle: optimized output and extension counts check out against the baseline reference")
+	}
 	if *dump {
 		for _, fn := range res.IR().Funcs {
 			fmt.Println(fn.Format())
@@ -156,10 +197,10 @@ func main() {
 			rr, err = res.Run()
 		}
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "sxelim: execution failed:", err)
-			os.Exit(1)
+			return fmt.Errorf("execution failed: %w", err)
 		}
 		fmt.Print(rr.Output)
 		fmt.Printf("[dynamic 32-bit sign extensions: %d, cycles: %d]\n", rr.DynamicExts, rr.Cycles)
 	}
+	return nil
 }

@@ -1,0 +1,108 @@
+package chains
+
+import (
+	"fmt"
+
+	"signext/internal/dataflow"
+	"signext/internal/ir"
+)
+
+// Check validates the chain structure's internal cross-consistency: every
+// UD edge has a matching DU edge and vice versa, and every instruction the
+// chains mention is still placed in a block of the function. Incremental
+// patching (RemoveSameRegExt) must preserve all of these invariants; the
+// guard verifier runs Check at phase boundaries to catch chain corruption
+// before it licenses an unsound elimination.
+func (c *Chains) Check() error {
+	inFn := map[*ir.Instr]bool{}
+	c.Fn.ForEachInstr(func(_ *ir.Block, ins *ir.Instr) { inFn[ins] = true })
+
+	place := func(ins *ir.Instr) error {
+		if !inFn[ins] {
+			return fmt.Errorf("chains: %s/%s not in function %s", ins, ins.Blk, c.Fn.Name)
+		}
+		return nil
+	}
+	duOf := func(d dataflow.DefSite) []UseSite {
+		if d.IsParam() {
+			return c.duParam[d.Param]
+		}
+		return c.du[d.Instr]
+	}
+
+	// UD -> DU direction.
+	for key, defs := range c.ud {
+		if err := place(key.ins); err != nil {
+			return err
+		}
+		if key.op < 0 || key.op >= key.ins.NumUses() {
+			return fmt.Errorf("chains: UD entry for out-of-range operand %d of %s", key.op, key.ins)
+		}
+		use := UseSite{key.ins, key.op}
+		for _, d := range defs {
+			if !d.IsParam() {
+				if err := place(d.Instr); err != nil {
+					return err
+				}
+				if d.Instr.Dst != d.Reg {
+					return fmt.Errorf("chains: def site %s claims reg %s", d.Instr, d.Reg)
+				}
+			} else if d.Param < 0 || d.Param >= c.Fn.NParams() {
+				return fmt.Errorf("chains: def site for out-of-range param %d", d.Param)
+			}
+			if d.Reg != key.ins.UseAt(key.op) {
+				return fmt.Errorf("chains: UD def of %s feeds operand %d of %s reading %s",
+					d.Reg, key.op, key.ins, key.ins.UseAt(key.op))
+			}
+			if !containsUse(duOf(d), use) {
+				return fmt.Errorf("chains: UD edge %v -> operand %d of %s lacks DU back-edge",
+					d.Reg, key.op, key.ins)
+			}
+		}
+	}
+
+	// DU -> UD direction.
+	checkDU := func(d dataflow.DefSite, uses []UseSite) error {
+		for _, u := range uses {
+			if err := place(u.Instr); err != nil {
+				return err
+			}
+			if u.OpIdx < 0 || u.OpIdx >= u.Instr.NumUses() {
+				return fmt.Errorf("chains: DU entry for out-of-range operand %d of %s", u.OpIdx, u.Instr)
+			}
+			if !containsDef(c.ud[useKey{u.Instr, u.OpIdx}], d) {
+				return fmt.Errorf("chains: DU edge to operand %d of %s lacks UD back-edge", u.OpIdx, u.Instr)
+			}
+		}
+		return nil
+	}
+	for ins, uses := range c.du {
+		if err := place(ins); err != nil {
+			return err
+		}
+		if err := checkDU(dataflow.DefSite{Instr: ins, Param: -1, Reg: ins.Dst}, uses); err != nil {
+			return err
+		}
+	}
+	for p, uses := range c.duParam {
+		if err := checkDU(dataflow.DefSite{Param: p, Reg: ir.Reg(p)}, uses); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// DropUDEdge removes one reaching definition from the UD list of operand op
+// of ins WITHOUT patching the DU side — a deliberately unsound mutation.
+// It exists for the guard's fault injection, which proves Check detects
+// exactly this class of chain damage; it reports whether there was an edge
+// to drop.
+func (c *Chains) DropUDEdge(ins *ir.Instr, op int) bool {
+	key := useKey{ins, op}
+	defs := c.ud[key]
+	if len(defs) == 0 {
+		return false
+	}
+	c.ud[key] = defs[1:]
+	return true
+}

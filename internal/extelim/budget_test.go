@@ -1,0 +1,78 @@
+package extelim
+
+import (
+	"testing"
+
+	"signext/internal/interp"
+	"signext/internal/ir"
+)
+
+// buildWide returns a function with a long chain of through-ops feeding a
+// full-register consumer, so elimination has real traversal work to do.
+func buildWide() *ir.Program {
+	prog := ir.NewProgram()
+	prog.NGlobals = 1
+	b := ir.NewFunc("main")
+	b.StoreG(ir.W32, 0, b.Const(ir.W32, -42))
+	x := b.LoadG(ir.W32, 0)
+	for k := 0; k < 40; k++ {
+		x = b.Add(ir.W32, x, b.Const(ir.W32, 1))
+	}
+	d := b.I2D(x)
+	b.FPrint(d)
+	b.Ret(ir.NoReg)
+	prog.AddFunc(b.Fn)
+	return prog
+}
+
+// TestWorkBudget: a tiny budget must stop analysis gracefully (flagging
+// BudgetExhausted, keeping unanalyzed extensions) and never change
+// behaviour; an ample budget must not trip.
+func TestWorkBudget(t *testing.T) {
+	ref := buildWide()
+	for _, fn := range ref.Funcs {
+		Convert64(fn, ir.IA64)
+	}
+	want, err := interp.Run(ref, "main", interp.Options{Mode: interp.Mode64, Machine: ir.IA64})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, budget := range []int{1, 5, 50, 1 << 20} {
+		p := buildWide()
+		fn := p.Funcs[0]
+		Convert64(fn, ir.IA64)
+		st := Eliminate(fn, Config{Machine: ir.IA64, Insert: true, Order: true, Array: true, MaxWork: budget})
+		if budget <= 5 && !st.BudgetExhausted {
+			t.Errorf("budget %d: exhaustion not reported", budget)
+		}
+		if budget >= 1<<20 && st.BudgetExhausted {
+			t.Errorf("budget %d: spuriously exhausted", budget)
+		}
+		if err := fn.Verify(); err != nil {
+			t.Errorf("budget %d: %v", budget, err)
+		}
+		got, err := interp.Run(p, "main", interp.Options{Mode: interp.Mode64, Machine: ir.IA64})
+		if err != nil {
+			t.Errorf("budget %d: %v", budget, err)
+			continue
+		}
+		if got.Output != want.Output {
+			t.Errorf("budget %d changed behaviour: want %q got %q", budget, want.Output, got.Output)
+		}
+	}
+}
+
+// TestWorkBudgetUnlimitedByDefault: MaxWork zero must not restrict anything.
+func TestWorkBudgetUnlimitedByDefault(t *testing.T) {
+	p := buildWide()
+	fn := p.Funcs[0]
+	Convert64(fn, ir.IA64)
+	st := Eliminate(fn, Config{Machine: ir.IA64, Insert: true, Order: true, Array: true})
+	if st.BudgetExhausted {
+		t.Fatal("unlimited budget reported exhausted")
+	}
+	if st.Eliminated == 0 {
+		t.Fatal("nothing eliminated on the chain program")
+	}
+}

@@ -25,6 +25,14 @@ type Config struct {
 	UsePDE bool // replace simple insertion with the PDE-style variant
 
 	Profile interp.Profile // optional dynamic branch profile for ordering
+
+	// MaxWork caps the per-function analysis effort (counted in chain
+	// traversal queries, mirroring interp.MaxSteps). 0 means unlimited. On
+	// an adversarial CFG the memoized traversals are polynomial but can
+	// still be arbitrarily expensive; when the budget runs out the
+	// remaining candidates are simply kept (always sound) and
+	// Stats.BudgetExhausted reports it so the driver can fall back.
+	MaxWork int
 }
 
 // Stats reports what the elimination phase did to one function.
@@ -33,6 +41,11 @@ type Stats struct {
 	Dummies    int // just_extended() markers added (and later removed)
 	Eliminated int // extensions removed
 	Remaining  int // extensions left in the function
+
+	// BudgetExhausted reports that Config.MaxWork ran out before every
+	// candidate was analyzed; the function is still correct (unanalyzed
+	// extensions are kept), just not fully optimized.
+	BudgetExhausted bool
 
 	// ChainTime is the time spent creating the shared analyses — UD/DU
 	// chains and value ranges — reported separately because the paper's
@@ -71,6 +84,12 @@ type eliminator struct {
 	defFlags map[defKey]int64
 	u32Flags map[*ir.Instr]int64
 	arrFlags map[*ir.Instr]int64
+
+	// work counts chain traversal queries against cfg.MaxWork. When the
+	// budget is spent, every pending query answers conservatively ("the
+	// extension is required"), which is always sound.
+	work     int
+	overWork bool
 
 	// candidate is the extension currently being analyzed. Definition-side
 	// traversals treat it as absent ("transparent"), looking through to the
@@ -146,6 +165,9 @@ func (e *eliminator) run() Stats {
 
 	// Phase (3)-3: eliminate, hottest region first.
 	for _, b := range order {
+		if e.overWork {
+			break
+		}
 		// Snapshot: elimination mutates the block.
 		exts := []*ir.Instr{}
 		for _, ins := range b.Instrs {
@@ -154,15 +176,34 @@ func (e *eliminator) run() Stats {
 			}
 		}
 		for _, x := range exts {
+			if e.overWork {
+				break
+			}
 			if e.eliminateOneExtend(x) {
 				st.Eliminated++
 			}
 		}
 	}
+	st.BudgetExhausted = e.overWork
 
 	removeDummies(e.fn)
 	st.Remaining = e.fn.CountOp(ir.OpExt)
 	return st
+}
+
+// spend charges one traversal query against the work budget and reports
+// whether analysis may continue. Once the budget is exhausted every query
+// answers conservatively, so candidates analyzed after that point are kept.
+func (e *eliminator) spend() bool {
+	if e.cfg.MaxWork <= 0 {
+		return true
+	}
+	if e.work >= e.cfg.MaxWork {
+		e.overWork = true
+		return false
+	}
+	e.work++
+	return true
 }
 
 // eliminateOneExtend is the paper's EliminateOneExtend: analyze one extension
@@ -216,6 +257,9 @@ func (e *eliminator) eliminateOneExtend(ext *ir.Instr) bool {
 // access unchanged (through copies), because the subscript theorems are
 // stated about the extension's own register.
 func (e *eliminator) analyzeUSE(ext *ir.Instr, ins *ir.Instr, op int, canArray bool) bool {
+	if !e.spend() {
+		return true // out of budget: conservatively required
+	}
 	key := useSiteKey{ins, op}
 	if v := e.useFlags[key]; v>>2 == e.gen {
 		switch int8(v & 3) {
@@ -281,6 +325,9 @@ func (e *eliminator) analyzeUSE1(ext *ir.Instr, ins *ir.Instr, op int, canArray 
 // analyzeDEF reports whether the definition d fails to produce a value
 // sign-extended from w bits (true = an extension is still necessary).
 func (e *eliminator) analyzeDEF(d dataflow.DefSite, w uint8) bool {
+	if !e.spend() {
+		return true // out of budget: conservatively not extended
+	}
 	if d.IsParam() {
 		p := e.fn.Params[d.Param]
 		if p.Float || p.Ref {
@@ -436,6 +483,9 @@ func (e *eliminator) operandFullNonNeg(ins *ir.Instr, k int) bool {
 // analyzeU32Z reports whether the definition d leaves the register's upper
 // 32 bits zero (the "initialized to zero" premise of Theorems 1 and 3).
 func (e *eliminator) analyzeU32Z(d dataflow.DefSite) bool {
+	if !e.spend() {
+		return false // out of budget: conservatively unknown
+	}
 	if d.IsParam() {
 		return false
 	}
@@ -548,6 +598,9 @@ func (e *eliminator) analyzeARRAY(ext *ir.Instr, access *ir.Instr) bool {
 
 // theoremHolds checks one definition of the subscript against Theorems 1-4.
 func (e *eliminator) theoremHolds(d dataflow.DefSite, w uint8) bool {
+	if !e.spend() {
+		return false // out of budget: conservatively no theorem applies
+	}
 	if !d.IsParam() {
 		if v := e.arrFlags[d.Instr]; v>>2 == e.gen {
 			switch int8(v & 3) {

@@ -1,0 +1,135 @@
+package guard
+
+import (
+	"math/rand"
+
+	"signext/internal/chains"
+	"signext/internal/ir"
+)
+
+// Injector deterministically injects the fault classes a broken optimizer
+// could produce, so tests can prove each one is caught by the verifier or
+// the oracle rather than silently miscompiling. Every choice is driven by
+// the seed: the same seed injects the same fault at the same site.
+type Injector struct {
+	rng *rand.Rand
+}
+
+// NewInjector returns a fault injector seeded for reproducibility.
+func NewInjector(seed int64) *Injector {
+	return &Injector{rng: rand.New(rand.NewSource(seed))}
+}
+
+// pick returns a random element of xs, or the zero value for an empty list.
+func pick[T any](rng *rand.Rand, xs []T) (T, bool) {
+	var zero T
+	if len(xs) == 0 {
+		return zero, false
+	}
+	return xs[rng.Intn(len(xs))], true
+}
+
+// DropExt deletes one sign extension from the function without any chain
+// or analysis justification — the "optimizer removed an extension it must
+// not" fault. The damage is semantic, not structural, so it is the
+// differential oracle's job to catch it. Reports whether a fault was
+// injected.
+func (in *Injector) DropExt(fn *ir.Func) bool {
+	var exts []*ir.Instr
+	fn.ForEachInstr(func(_ *ir.Block, ins *ir.Instr) {
+		if ins.IsExt() && ins.Dst == ins.Srcs[0] {
+			exts = append(exts, ins)
+		}
+	})
+	ext, ok := pick(in.rng, exts)
+	if !ok {
+		return false
+	}
+	ext.Blk.Remove(ext)
+	return true
+}
+
+// CorruptChain drops one UD edge from the chain structure without patching
+// the DU side — the "incremental chain maintenance went wrong" fault. The
+// chains no longer describe the function, which chains.Check (run by
+// VerifyFunc at phase boundaries) detects. Reports whether a fault was
+// injected.
+func (in *Injector) CorruptChain(ch *chains.Chains) bool {
+	type site struct {
+		ins *ir.Instr
+		op  int
+	}
+	var sites []site
+	ch.Fn.ForEachInstr(func(_ *ir.Block, ins *ir.Instr) {
+		for op := 0; op < ins.NumUses(); op++ {
+			if len(ch.UD(ins, op)) > 0 {
+				sites = append(sites, site{ins, op})
+			}
+		}
+	})
+	s, ok := pick(in.rng, sites)
+	if !ok {
+		return false
+	}
+	return ch.DropUDEdge(s.ins, s.op)
+}
+
+// HoistExt moves one same-register extension above the definition feeding
+// it, into the entry block — the "elimination processed sites in a wrong
+// order" fault: the extension now reads its register before any definition
+// reaches it. The deep verifier's def-before-use check detects it. Reports
+// whether a fault was injected.
+func (in *Injector) HoistExt(fn *ir.Func) bool {
+	var exts []*ir.Instr
+	fn.ForEachInstr(func(b *ir.Block, ins *ir.Instr) {
+		// Only extensions of non-parameter registers: a parameter is defined
+		// at entry, so hoisting its extension would stay legal.
+		if ins.IsExt() && ins.Dst == ins.Srcs[0] && int(ins.Dst) >= fn.NParams() {
+			exts = append(exts, ins)
+		}
+	})
+	ext, ok := pick(in.rng, exts)
+	if !ok {
+		return false
+	}
+	ext.Blk.Remove(ext)
+	fn.Entry().InsertAt(0, ext)
+	return true
+}
+
+// BadWidth corrupts one extension's width field to 64 — the "phase wrote a
+// nonsensical instruction" fault, caught by the structural verifier's
+// width check. Reports whether a fault was injected.
+func (in *Injector) BadWidth(fn *ir.Func) bool {
+	var exts []*ir.Instr
+	fn.ForEachInstr(func(_ *ir.Block, ins *ir.Instr) {
+		if ins.Op == ir.OpExt || ins.Op == ir.OpExtDummy {
+			exts = append(exts, ins)
+		}
+	})
+	ext, ok := pick(in.rng, exts)
+	if !ok {
+		return false
+	}
+	ext.W = ir.W64
+	return true
+}
+
+// DropEdge removes one predecessor edge without touching the successor
+// side — the "CFG surgery left dangling edges" fault, caught by the CFG
+// consistency checks. Reports whether a fault was injected.
+func (in *Injector) DropEdge(fn *ir.Func) bool {
+	var blocks []*ir.Block
+	for _, b := range fn.Blocks {
+		if len(b.Preds) > 0 {
+			blocks = append(blocks, b)
+		}
+	}
+	b, ok := pick(in.rng, blocks)
+	if !ok {
+		return false
+	}
+	k := in.rng.Intn(len(b.Preds))
+	b.Preds = append(b.Preds[:k], b.Preds[k+1:]...)
+	return true
+}

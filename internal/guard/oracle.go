@@ -1,0 +1,87 @@
+package guard
+
+import (
+	"fmt"
+
+	"signext/internal/extelim"
+	"signext/internal/interp"
+	"signext/internal/ir"
+)
+
+// Oracle is the differential checker: it executes the optimized program
+// against the unoptimized Convert64-only reference in the interpreter and
+// demands identical observable behaviour (output, and trap identity when
+// both runs trap) plus a non-increasing dynamic extension count — the
+// optimizer's whole contract in two properties. It backs Options.CheckedRun
+// and the sxelim -check flag.
+type Oracle struct {
+	Machine     ir.Machine
+	MaxArrayLen int64
+	MaxSteps    int64  // per-run interpreter budget (0 = interp default)
+	Entry       string // entry function ("" = "main")
+}
+
+// Report is the outcome of one oracle comparison.
+type Report struct {
+	RefOutput string
+	OptOutput string
+	RefErr    error
+	OptErr    error
+	RefExts   int64 // dynamic 32-bit extensions in the reference run
+	OptExts   int64 // dynamic 32-bit extensions in the optimized run
+}
+
+// Check compiles the reference (clone of src, Convert64 only — correct by
+// construction) and runs both programs. A non-nil error describes the first
+// divergence; the Report always carries both runs' observations.
+//
+// src must be the 32-bit-form frontend output; optimized the compiled
+// 64-bit-form program. Dummy assertions are enabled on the optimized run so
+// a violated just_extended() claim also surfaces here.
+func (o Oracle) Check(src, optimized *ir.Program) (*Report, error) {
+	ref := src.Clone()
+	for _, fn := range ref.Funcs {
+		extelim.Convert64(fn, o.Machine)
+	}
+	return o.CheckAgainst(ref, optimized)
+}
+
+// CheckAgainst runs optimized against an explicitly supplied 64-bit-form
+// reference. The pipeline uses it with the Baseline-variant compile of the
+// same source (sign extension phase disabled, everything else identical), so
+// the dynamic extension counts are an apples-to-apples comparison even when
+// inlining and general optimizations reshape the code.
+func (o Oracle) CheckAgainst(ref, optimized *ir.Program) (*Report, error) {
+	entry := o.Entry
+	if entry == "" {
+		entry = "main"
+	}
+	rep := &Report{}
+	refRes, refErr := interp.Run(ref, entry, interp.Options{
+		Mode: interp.Mode64, Machine: o.Machine,
+		MaxSteps: o.MaxSteps, MaxArrayLen: o.MaxArrayLen,
+	})
+	rep.RefOutput, rep.RefErr, rep.RefExts = refRes.Output, refErr, refRes.Ext32()
+
+	optRes, optErr := interp.Run(optimized, entry, interp.Options{
+		Mode: interp.Mode64, Machine: o.Machine,
+		MaxSteps: o.MaxSteps, MaxArrayLen: o.MaxArrayLen,
+		CheckDummies: true,
+	})
+	rep.OptOutput, rep.OptErr, rep.OptExts = optRes.Output, optErr, optRes.Ext32()
+
+	if (refErr != nil) != (optErr != nil) {
+		return rep, fmt.Errorf("guard: oracle trap mismatch: reference %v, optimized %v", refErr, optErr)
+	}
+	if refErr != nil && optErr != nil && refErr.Error() != optErr.Error() {
+		return rep, fmt.Errorf("guard: oracle trap identity mismatch: reference %v, optimized %v", refErr, optErr)
+	}
+	if rep.RefOutput != rep.OptOutput {
+		return rep, fmt.Errorf("guard: oracle output mismatch:\nreference %q\noptimized %q", rep.RefOutput, rep.OptOutput)
+	}
+	if rep.OptExts > rep.RefExts {
+		return rep, fmt.Errorf("guard: oracle regression: optimized executes %d dynamic extensions, reference %d",
+			rep.OptExts, rep.RefExts)
+	}
+	return rep, nil
+}

@@ -1,0 +1,73 @@
+package guard
+
+import (
+	"fmt"
+	"runtime/debug"
+
+	"signext/internal/ir"
+)
+
+// PhaseError is the structured report produced when a compiler phase panics
+// or fails verification for one function. The driver records it, restores
+// the pre-phase IR snapshot and compiles on — the phase is disabled for
+// that function only.
+type PhaseError struct {
+	Phase    string // pipeline phase ("inline", "convert", "opt", "signext", ...)
+	Func     string // function being compiled ("" for program-wide phases)
+	Variant  string // algorithm variant in effect
+	Snapshot string // IR text at phase entry (the state the driver restores)
+	Panic    any    // recovered panic value, nil for verifier failures
+	Stack    []byte // stack at the panic site, nil for verifier failures
+	Err      error  // verifier (or other detected) error, nil for panics
+}
+
+func (e *PhaseError) Error() string {
+	where := e.Phase
+	if e.Func != "" {
+		where += "/" + e.Func
+	}
+	if e.Variant != "" {
+		where += " (" + e.Variant + ")"
+	}
+	if e.Panic != nil {
+		return fmt.Sprintf("guard: phase %s panicked: %v", where, e.Panic)
+	}
+	return fmt.Sprintf("guard: phase %s failed: %v", where, e.Err)
+}
+
+// Unwrap exposes the verifier error for errors.Is/As.
+func (e *PhaseError) Unwrap() error { return e.Err }
+
+// RunPhase executes body with panic capture. A panic or a returned error is
+// converted into a *PhaseError carrying the phase identity and the IR
+// snapshot the caller should restore; a clean run returns nil. snapshot may
+// be empty when the caller keeps its own clone.
+func RunPhase(phase, fnName, variant, snapshot string, body func() error) (perr *PhaseError) {
+	defer func() {
+		if r := recover(); r != nil {
+			perr = &PhaseError{
+				Phase: phase, Func: fnName, Variant: variant,
+				Snapshot: snapshot, Panic: r, Stack: debug.Stack(),
+			}
+		}
+	}()
+	if err := body(); err != nil {
+		return &PhaseError{
+			Phase: phase, Func: fnName, Variant: variant,
+			Snapshot: snapshot, Err: err,
+		}
+	}
+	return nil
+}
+
+// Snapshot renders a function to IR text for PhaseError reports. It is
+// panic-safe: a function broken badly enough that printing it panics
+// reports a placeholder instead of masking the original failure.
+func Snapshot(fn *ir.Func) (s string) {
+	defer func() {
+		if recover() != nil {
+			s = "<unprintable IR>"
+		}
+	}()
+	return fn.Format()
+}

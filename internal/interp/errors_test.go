@@ -1,0 +1,102 @@
+package interp
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"signext/internal/ir"
+)
+
+// TestStepLimitExactBoundary: an infinite loop trips ErrStepLimit in 32-bit
+// mode too (TestStepLimit covers Mode64), and a program finishing under the
+// budget must not be penalized.
+func TestStepLimitExactBoundary(t *testing.T) {
+	loop := ir.NewProgram()
+	lb := ir.NewFunc("main")
+	blk := lb.NewBlock()
+	lb.Jmp(blk)
+	lb.SetBlock(blk)
+	lb.Jmp(blk)
+	loop.AddFunc(lb.Fn)
+	if _, err := Run(loop, "main", Options{Mode: Mode32, MaxSteps: 1000}); !errors.Is(err, ErrStepLimit) {
+		t.Fatalf("want ErrStepLimit, got %v", err)
+	}
+
+	prog := ir.NewProgram()
+	b := ir.NewFunc("main")
+	b.Print(ir.W32, b.Const(ir.W32, 7))
+	b.Ret(ir.NoReg)
+	prog.AddFunc(b.Fn)
+	res, err := Run(prog, "main", Options{Mode: Mode32, MaxSteps: 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Output != "7\n" {
+		t.Fatalf("wrong output %q", res.Output)
+	}
+}
+
+// TestCheckDummiesViolation: an ext.dummy whose register holds dirty upper
+// bits is the optimizer claiming "already extended" falsely; with
+// CheckDummies the interpreter must fail the run with ErrDummy.
+func TestCheckDummiesViolation(t *testing.T) {
+	prog := ir.NewProgram()
+	prog.NGlobals = 1
+	b := ir.NewFunc("main")
+	// A negative 32-bit value reloaded on IA64 zero-extends: the register is
+	// dirty, so the hand-planted dummy's assertion is false.
+	b.StoreG(ir.W32, 0, b.Const(ir.W32, -1))
+	x := b.LoadG(ir.W32, 0)
+	dummy := b.Fn.NewInstr(ir.OpExtDummy)
+	dummy.W = ir.W32
+	dummy.Dst = x
+	dummy.Srcs[0] = x
+	dummy.NSrcs = 1
+	b.Block().InsertAt(len(b.Block().Instrs), dummy)
+	b.Print(ir.W32, x)
+	b.Ret(ir.NoReg)
+	prog.AddFunc(b.Fn)
+
+	_, err := Run(prog, "main", Options{Mode: Mode64, Machine: ir.IA64, CheckDummies: true})
+	if !errors.Is(err, ErrDummy) {
+		t.Fatalf("want ErrDummy, got %v", err)
+	}
+	if err == nil || !strings.Contains(err.Error(), "holds") {
+		t.Fatalf("diagnostic lacks the dirty value: %v", err)
+	}
+
+	// Without CheckDummies the marker is a plain move and the run completes
+	// (with the wrong, dirty-bit behaviour the checker exists to expose).
+	if _, err := Run(prog, "main", Options{Mode: Mode64, Machine: ir.IA64}); err != nil {
+		t.Fatalf("unchecked run must not trap: %v", err)
+	}
+}
+
+// TestCheckDummiesAcceptsCleanRegister: a truthful dummy (register freshly
+// extended) must pass the assertion.
+func TestCheckDummiesAcceptsCleanRegister(t *testing.T) {
+	prog := ir.NewProgram()
+	prog.NGlobals = 1
+	b := ir.NewFunc("main")
+	b.StoreG(ir.W32, 0, b.Const(ir.W32, -1))
+	x := b.LoadG(ir.W32, 0)
+	b.Ext(ir.W32, x)
+	dummy := b.Fn.NewInstr(ir.OpExtDummy)
+	dummy.W = ir.W32
+	dummy.Dst = x
+	dummy.Srcs[0] = x
+	dummy.NSrcs = 1
+	b.Block().InsertAt(len(b.Block().Instrs), dummy)
+	b.Print(ir.W32, x)
+	b.Ret(ir.NoReg)
+	prog.AddFunc(b.Fn)
+
+	res, err := Run(prog, "main", Options{Mode: Mode64, Machine: ir.IA64, CheckDummies: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Output != "-1\n" {
+		t.Fatalf("wrong output %q", res.Output)
+	}
+}

@@ -4,6 +4,12 @@
 // the tiered profile collection of its combined interpreter and dynamic
 // compiler: a profiling run in the interpreter supplies branch statistics to
 // order determination.
+//
+// The pipeline is guarded the way a production JIT tier is: every optimizer
+// phase runs under recover with a pre-phase snapshot of the function, so a
+// panicking or (under Options.Checked) verifier-rejected phase disables
+// itself for that function only and compilation still succeeds with the
+// correct Convert64-only code. See internal/guard.
 package jit
 
 import (
@@ -11,6 +17,7 @@ import (
 	"time"
 
 	"signext/internal/extelim"
+	"signext/internal/guard"
 	"signext/internal/interp"
 	"signext/internal/ir"
 	"signext/internal/opt"
@@ -86,7 +93,26 @@ type Options struct {
 	MaxArrayLen int64
 	GeneralOpts bool           // Figure 5 step (2); on for all paper rows
 	Profile     interp.Profile // branch profile for order determination
-	Verify      bool           // run the IR verifier after each phase
+	Verify      bool           // run the shallow IR verifier after each phase
+
+	// Checked runs the deep guard verifier (CFG consistency, def-before-use,
+	// extension widths, chain cross-consistency) at every phase boundary. A
+	// function failing verification is restored to its pre-phase snapshot —
+	// the phase is disabled for that function only — and the failure is
+	// recorded in Result.Fallbacks.
+	Checked bool
+
+	// ElimBudget caps the per-function analysis work of the elimination
+	// phase (extelim.Config.MaxWork). Exhaustion triggers the same graceful
+	// fallback as a phase panic. 0 means unlimited.
+	ElimBudget int
+
+	// PhaseHook, if set, is called inside every guarded phase before its
+	// body runs, with the function about to be transformed (nil for the
+	// whole-program inlining phase). Tests use it to force deterministic
+	// phase failures; a panicking hook behaves exactly like a panicking
+	// phase.
+	PhaseHook func(phase string, fn *ir.Func)
 }
 
 // Timing is the compilation-time breakdown of the paper's Table 3.
@@ -106,10 +132,23 @@ type Result struct {
 	Stats      extelim.Stats // summed over functions
 	Timing     Timing
 	StaticExts int // extension instructions surviving in the code
+
+	// Fallbacks records every phase that panicked, failed verification, or
+	// exhausted its work budget and was therefore disabled for one function.
+	// The compiled code is still correct: the affected function runs its
+	// pre-phase (at worst Convert64-only) code.
+	Fallbacks []*guard.PhaseError
 }
 
 // Compile clones src and compiles it under the given options. src itself is
 // never modified, so one frontend result can be compiled under all variants.
+//
+// Optimizer phases (general optimizations and the sign extension phase) are
+// panic-safe: a panic never escapes Compile; the offending function is
+// restored from its pre-phase snapshot and the failure recorded in
+// Result.Fallbacks. Conversion failures have no correct fallback — without
+// the generated extensions the 64-bit machine would read dirty upper bits —
+// so they abort compilation with a structured *guard.PhaseError.
 func Compile(src *ir.Program, o Options) (*Result, error) {
 	prog := src.Clone()
 	res := &Result{Prog: prog, Options: o}
@@ -126,12 +165,75 @@ func Compile(src *ir.Program, o Options) (*Result, error) {
 		return nil
 	}
 
+	// guarded runs one per-function phase body under recover, with a
+	// pre-phase snapshot. On panic, on body error (budget exhaustion), or on
+	// deep-verifier rejection under Checked, the snapshot is restored — the
+	// phase is disabled for that function only — and the failure recorded.
+	// Reports whether the phase's effects were kept.
+	guarded := func(phase string, fn *ir.Func, body func() error) bool {
+		snap := fn.Clone()
+		perr := guard.RunPhase(phase, fn.Name, o.Variant.String(), "", func() error {
+			if o.PhaseHook != nil {
+				o.PhaseHook(phase, fn)
+			}
+			if err := body(); err != nil {
+				return err
+			}
+			if o.Checked {
+				return guard.VerifyFunc(fn, o.Machine)
+			}
+			return nil
+		})
+		if perr == nil {
+			return true
+		}
+		perr.Snapshot = guard.Snapshot(fn)
+		prog.ReplaceFunc(snap)
+		res.Fallbacks = append(res.Fallbacks, perr)
+		return false
+	}
+
+	// mustConvert runs a conversion body for one function. Conversion is the
+	// correctness floor, so there is nothing to fall back to: a failure here
+	// is a hard, structured compile error.
+	mustConvert := func(phase string, fn *ir.Func, body func()) *guard.PhaseError {
+		perr := guard.RunPhase(phase, fn.Name, o.Variant.String(), "", func() error {
+			if o.PhaseHook != nil {
+				o.PhaseHook(phase, fn)
+			}
+			body()
+			if o.Checked {
+				return guard.VerifyFunc(fn, o.Machine)
+			}
+			return nil
+		})
+		if perr != nil {
+			perr.Snapshot = guard.Snapshot(fn)
+		}
+		return perr
+	}
+
 	// Method inlining runs first, on the 32-bit form, like the paper's
 	// intermediate-language inliner [10, 19]: it removes call boundaries so
-	// argument/result extensions become visible to the later phases.
+	// argument/result extensions become visible to the later phases. It is
+	// all-or-nothing: a failure restarts from a fresh clone without it.
 	t0 := time.Now()
 	if o.GeneralOpts {
-		opt.InlineProgram(prog)
+		perr := guard.RunPhase("inlining", "<program>", o.Variant.String(), "", func() error {
+			if o.PhaseHook != nil {
+				o.PhaseHook("inlining", nil)
+			}
+			opt.InlineProgram(prog)
+			if o.Checked {
+				return guard.VerifyProgram(prog, o.Machine)
+			}
+			return nil
+		})
+		if perr != nil {
+			prog = src.Clone()
+			res.Prog = prog
+			res.Fallbacks = append(res.Fallbacks, perr)
+		}
 		if err := check("inlining"); err != nil {
 			return nil, err
 		}
@@ -142,7 +244,11 @@ func Compile(src *ir.Program, o Options) (*Result, error) {
 	// the general optimizations.
 	if o.Variant != GenUse {
 		for _, fn := range prog.Funcs {
-			extelim.Convert64(fn, o.Machine)
+			if perr := mustConvert("convert64", fn, func() {
+				extelim.Convert64(fn, o.Machine)
+			}); perr != nil {
+				return nil, perr
+			}
 		}
 	}
 	if err := check("conversion"); err != nil {
@@ -152,7 +258,11 @@ func Compile(src *ir.Program, o Options) (*Result, error) {
 	// Step (2): general optimizations.
 	if o.GeneralOpts {
 		for _, fn := range prog.Funcs {
-			opt.Run(fn)
+			f := fn
+			guarded("general opts", f, func() error {
+				opt.Run(f)
+				return nil
+			})
 		}
 		if err := check("general optimizations"); err != nil {
 			return nil, err
@@ -160,7 +270,11 @@ func Compile(src *ir.Program, o Options) (*Result, error) {
 	}
 	if o.Variant == GenUse {
 		for _, fn := range prog.Funcs {
-			extelim.ConvertGenUse(fn, o.Machine)
+			if perr := mustConvert("gen-use conversion", fn, func() {
+				extelim.ConvertGenUse(fn, o.Machine)
+			}); perr != nil {
+				return nil, perr
+			}
 		}
 		if err := check("gen-use conversion"); err != nil {
 			return nil, err
@@ -168,27 +282,45 @@ func Compile(src *ir.Program, o Options) (*Result, error) {
 	}
 	res.Timing.Others = time.Since(t0)
 
-	// Step (3): the sign extension phase.
+	// Step (3): the sign extension phase. This is the phase the guardrails
+	// exist for: any failure falls back to the Convert64-only code above.
 	t1 := time.Now()
 	switch o.Variant {
 	case Baseline, GenUse:
 		// disabled
 	case FirstAlgorithm:
 		for _, fn := range prog.Funcs {
-			res.Stats.Eliminated += extelim.FirstAlgorithm(fn)
+			f := fn
+			var n int
+			if guarded("signext", f, func() error {
+				n = extelim.FirstAlgorithm(f)
+				return nil
+			}) {
+				res.Stats.Eliminated += n
+			}
 		}
 	default:
 		_, c := o.Variant.config()
 		c.Machine = o.Machine
 		c.MaxArrayLen = o.MaxArrayLen
 		c.Profile = o.Profile
+		c.MaxWork = o.ElimBudget
 		var chains time.Duration
 		for _, fn := range prog.Funcs {
-			st := extelim.Eliminate(fn, c)
-			res.Stats.Inserted += st.Inserted
-			res.Stats.Dummies += st.Dummies
-			res.Stats.Eliminated += st.Eliminated
-			chains += st.ChainTime
+			f := fn
+			var st extelim.Stats
+			if guarded("signext", f, func() error {
+				st = extelim.Eliminate(f, c)
+				if st.BudgetExhausted {
+					return fmt.Errorf("guard: elimination work budget of %d exhausted", o.ElimBudget)
+				}
+				return nil
+			}) {
+				res.Stats.Inserted += st.Inserted
+				res.Stats.Dummies += st.Dummies
+				res.Stats.Eliminated += st.Eliminated
+				chains += st.ChainTime
+			}
 		}
 		res.Timing.Chains = chains
 	}
@@ -202,6 +334,31 @@ func Compile(src *ir.Program, o Options) (*Result, error) {
 	}
 	res.Stats.Remaining = res.StaticExts
 	return res, nil
+}
+
+// OracleCheck runs the differential oracle on a compiled result: src (the
+// 32-bit-form frontend output the result was compiled from) is recompiled
+// under the Baseline variant — the same pipeline with the sign extension
+// phase disabled, i.e. exactly the Convert64-only code a fallback produces —
+// and both programs execute in the interpreter. Any output divergence, trap
+// divergence, or dynamic extension-count regression is returned as an error.
+// The report carries both runs' observations either way.
+func OracleCheck(src *ir.Program, res *Result, entry string) (*guard.Report, error) {
+	refOpts := res.Options
+	refOpts.Variant = Baseline
+	refOpts.Checked = false
+	refOpts.ElimBudget = 0
+	refOpts.PhaseHook = nil
+	ref, err := Compile(src, refOpts)
+	if err != nil {
+		return nil, fmt.Errorf("guard: oracle reference compile failed: %w", err)
+	}
+	o := guard.Oracle{
+		Machine:     res.Options.Machine,
+		MaxArrayLen: res.Options.MaxArrayLen,
+		Entry:       entry,
+	}
+	return o.CheckAgainst(ref.Prog, res.Prog)
 }
 
 // ProfileRun executes the source (32-bit form) program in the interpreter

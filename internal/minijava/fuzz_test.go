@@ -168,6 +168,46 @@ func execLimited(res *jit.Result) (*interp.Result, error) {
 	})
 }
 
+// FuzzMiniJava is the native fuzz entry (CI runs it as a short smoke job):
+// whatever source the fuzzer mutates, the frontend must reject it cleanly or
+// the guarded pipeline must compile it with zero fallbacks and reproduce the
+// 32-bit reference behaviour. Panics anywhere surface as fuzz crashes.
+func FuzzMiniJava(f *testing.F) {
+	for seed := int64(1); seed <= 8; seed++ {
+		f.Add(generate(seed))
+	}
+	f.Add("void main() { print(1); }")
+	f.Add("static long g = -1; void main() { int x = (int) g; print(x); }")
+	f.Fuzz(func(t *testing.T, src string) {
+		cu, err := Compile(src)
+		if err != nil {
+			return // rejected cleanly: that is the contract for bad input
+		}
+		ref, refErr := interp.Run(cu.Prog, "main", interp.Options{Mode: interp.Mode32, MaxSteps: 2_000_000})
+		if refErr != nil {
+			return // non-terminating or trapping programs prove nothing here
+		}
+		res, err := jit.Compile(cu.Prog, jit.Options{
+			Variant: jit.All, Machine: ir.IA64, GeneralOpts: true, Checked: true,
+		})
+		if err != nil {
+			t.Fatalf("guarded compile failed: %v\n%s", err, src)
+		}
+		for _, fb := range res.Fallbacks {
+			t.Errorf("guarded pipeline fell back on valid input: %v\n%s", fb, src)
+		}
+		out, outErr := interp.Run(res.Prog, "main", interp.Options{
+			Mode: interp.Mode64, Machine: ir.IA64, MaxSteps: 4_000_000, CheckDummies: true,
+		})
+		if outErr != nil {
+			t.Fatalf("optimized run trapped, reference did not: %v\n%s", outErr, src)
+		}
+		if out.Output != ref.Output {
+			t.Fatalf("output mismatch\nref %q\ngot %q\n%s", ref.Output, out.Output, src)
+		}
+	})
+}
+
 // TestFuzzVariantsAgree cross-checks hundreds of random programs: every
 // variant on both machine models must reproduce the 32-bit reference
 // behaviour (output and trap/no-trap) and never trip the interpreter's

@@ -1,0 +1,510 @@
+// Package target lowers optimized IR to the two machine models the paper
+// evaluates — an IA64-like target (zero-extending loads, explicit sxt,
+// shladd effective addresses, cmp4 32-bit compares) and a PPC64-like target
+// (sign-extending lwa/lha loads, exts* extensions, indexed loads) — and
+// prices instructions with the cycle cost model behind the performance
+// figures. The lowering is deliberately schematic: one IR instruction maps
+// to one or two target instructions with real mnemonics, enough to inspect
+// where extensions survive and to charge modelled cycles, not to assemble.
+package target
+
+import (
+	"fmt"
+	"strings"
+
+	"signext/internal/ir"
+)
+
+// Instruction is one lowered machine instruction.
+type Instruction struct {
+	Mnemonic string
+	Args     string
+	IR       *ir.Instr // originating IR instruction (nil for helper instrs)
+}
+
+func (i Instruction) String() string {
+	if i.Args == "" {
+		return i.Mnemonic
+	}
+	return i.Mnemonic + " " + i.Args
+}
+
+// Block is a lowered basic block.
+type Block struct {
+	Label  string
+	Instrs []Instruction
+}
+
+// Asm is the lowering of one function for one machine model.
+type Asm struct {
+	Fn      *ir.Func
+	Machine ir.Machine
+	Blocks  []Block
+}
+
+// Format renders the lowering as assembler-style text.
+func (a *Asm) Format() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "// %s: %s\n%s:\n", a.Machine, a.Fn.Name, a.Fn.Name)
+	for _, b := range a.Blocks {
+		fmt.Fprintf(&sb, "%s:\n", b.Label)
+		for _, ins := range b.Instrs {
+			fmt.Fprintf(&sb, "\t%s\n", ins)
+		}
+	}
+	return sb.String()
+}
+
+// Count returns the number of lowered instructions with the given mnemonic.
+func (a *Asm) Count(mnemonic string) int {
+	n := 0
+	for _, b := range a.Blocks {
+		for _, ins := range b.Instrs {
+			if ins.Mnemonic == mnemonic {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// Lower translates a compiled (64-bit form) function to the machine model's
+// instruction list.
+func Lower(f *ir.Func, m ir.Machine) *Asm {
+	a := &Asm{Fn: f, Machine: m}
+	for _, b := range f.Blocks {
+		lb := Block{Label: fmt.Sprintf(".L%s_b%d", f.Name, b.ID)}
+		for _, ins := range b.Instrs {
+			if m == ir.PPC64 {
+				lb.Instrs = append(lb.Instrs, lowerPPC64(ins)...)
+			} else {
+				lb.Instrs = append(lb.Instrs, lowerIA64(ins)...)
+			}
+		}
+		a.Blocks = append(a.Blocks, lb)
+	}
+	return a
+}
+
+// elemScale returns log2 of the array element size for shladd/sldi scaling.
+func elemScale(w ir.Width, fl bool) int {
+	if fl || w == ir.W64 {
+		return 3
+	}
+	switch w {
+	case ir.W16:
+		return 1
+	case ir.W32:
+		return 2
+	}
+	return 0
+}
+
+func one(ins *ir.Instr, mnemonic, format string, args ...any) []Instruction {
+	return []Instruction{{Mnemonic: mnemonic, Args: fmt.Sprintf(format, args...), IR: ins}}
+}
+
+func blockLabel(fn *ir.Func, b *ir.Block) string {
+	return fmt.Sprintf(".L%s_b%d", fn.Name, b.ID)
+}
+
+func lowerIA64(ins *ir.Instr) []Instruction {
+	fn := ins.Blk.Fn
+	switch ins.Op {
+	case ir.OpConst:
+		if ir.W16.InRange(ins.Const) {
+			return one(ins, "mov", "%s = %d", ins.Dst, ins.Const)
+		}
+		return one(ins, "movl", "%s = %d", ins.Dst, ins.Const)
+	case ir.OpFConst:
+		return one(ins, "ldfd", "%s = %g", ins.Dst, ins.F)
+	case ir.OpMov:
+		return one(ins, "mov", "%s = %s", ins.Dst, ins.Srcs[0])
+	case ir.OpFMov:
+		return one(ins, "mov", "%s = %s", ins.Dst, ins.Srcs[0])
+	case ir.OpAdd:
+		return one(ins, "add", "%s = %s, %s", ins.Dst, ins.Srcs[0], ins.Srcs[1])
+	case ir.OpSub:
+		return one(ins, "sub", "%s = %s, %s", ins.Dst, ins.Srcs[0], ins.Srcs[1])
+	case ir.OpMul:
+		// Fixed-point multiply runs on the FP unit (xma.l) on IA64.
+		return one(ins, "xma.l", "%s = %s, %s", ins.Dst, ins.Srcs[0], ins.Srcs[1])
+	case ir.OpDiv:
+		return one(ins, "br.call", "b0 = __divdi3 (%s, %s) -> %s", ins.Srcs[0], ins.Srcs[1], ins.Dst)
+	case ir.OpRem:
+		return one(ins, "br.call", "b0 = __moddi3 (%s, %s) -> %s", ins.Srcs[0], ins.Srcs[1], ins.Dst)
+	case ir.OpAnd:
+		return one(ins, "and", "%s = %s, %s", ins.Dst, ins.Srcs[0], ins.Srcs[1])
+	case ir.OpOr:
+		return one(ins, "or", "%s = %s, %s", ins.Dst, ins.Srcs[0], ins.Srcs[1])
+	case ir.OpXor:
+		return one(ins, "xor", "%s = %s, %s", ins.Dst, ins.Srcs[0], ins.Srcs[1])
+	case ir.OpNot:
+		return one(ins, "andcm", "%s = -1, %s", ins.Dst, ins.Srcs[0])
+	case ir.OpNeg:
+		return one(ins, "sub", "%s = r0, %s", ins.Dst, ins.Srcs[0])
+	case ir.OpShl:
+		return one(ins, "shl", "%s = %s, %s", ins.Dst, ins.Srcs[0], ins.Srcs[1])
+	case ir.OpAShr:
+		if ins.W == ir.W64 {
+			return one(ins, "shr", "%s = %s, %s", ins.Dst, ins.Srcs[0], ins.Srcs[1])
+		}
+		// 32-bit shifts read only the low word: signed bit-field extract.
+		return one(ins, "extr", "%s = %s, %s, 32", ins.Dst, ins.Srcs[0], ins.Srcs[1])
+	case ir.OpLShr:
+		if ins.W == ir.W64 {
+			return one(ins, "shr.u", "%s = %s, %s", ins.Dst, ins.Srcs[0], ins.Srcs[1])
+		}
+		return one(ins, "extr.u", "%s = %s, %s, 32", ins.Dst, ins.Srcs[0], ins.Srcs[1])
+	case ir.OpExt:
+		return one(ins, fmt.Sprintf("sxt%d", ins.W.Bits()/8), "%s = %s", ins.Dst, ins.Srcs[0])
+	case ir.OpZext:
+		return one(ins, fmt.Sprintf("zxt%d", ins.W.Bits()/8), "%s = %s", ins.Dst, ins.Srcs[0])
+	case ir.OpExtDummy:
+		// Dummies are removed before lowering; render any survivor inertly.
+		return one(ins, "nop.i", "0 // just_extended(%s)", ins.Srcs[0])
+	case ir.OpI2D, ir.OpL2D:
+		return []Instruction{
+			{Mnemonic: "setf.sig", Args: fmt.Sprintf("%s = %s", ins.Dst, ins.Srcs[0]), IR: ins},
+			{Mnemonic: "fcvt.xf", Args: fmt.Sprintf("%s = %s", ins.Dst, ins.Dst), IR: ins},
+		}
+	case ir.OpD2I, ir.OpD2L:
+		return []Instruction{
+			{Mnemonic: "fcvt.fx.trunc", Args: fmt.Sprintf("%s = %s", ins.Dst, ins.Srcs[0]), IR: ins},
+			{Mnemonic: "getf.sig", Args: fmt.Sprintf("%s = %s", ins.Dst, ins.Dst), IR: ins},
+		}
+	case ir.OpFAdd:
+		return one(ins, "fadd.d", "%s = %s, %s", ins.Dst, ins.Srcs[0], ins.Srcs[1])
+	case ir.OpFSub:
+		return one(ins, "fsub.d", "%s = %s, %s", ins.Dst, ins.Srcs[0], ins.Srcs[1])
+	case ir.OpFMul:
+		return one(ins, "fmpy.d", "%s = %s, %s", ins.Dst, ins.Srcs[0], ins.Srcs[1])
+	case ir.OpFDiv:
+		return one(ins, "frcpa", "%s = %s, %s // + Newton steps", ins.Dst, ins.Srcs[0], ins.Srcs[1])
+	case ir.OpFNeg:
+		return one(ins, "fneg", "%s = %s", ins.Dst, ins.Srcs[0])
+	case ir.OpFCall, ir.OpCall:
+		args := make([]string, len(ins.Args))
+		for k, r := range ins.Args {
+			args[k] = r.String()
+		}
+		s := fmt.Sprintf("b0 = %s (%s)", ins.Callee, strings.Join(args, ", "))
+		if ins.HasDst() {
+			s += " -> " + ins.Dst.String()
+		}
+		return one(ins, "br.call", "%s", s)
+	case ir.OpRet:
+		if ins.NSrcs == 1 {
+			return []Instruction{
+				{Mnemonic: "mov", Args: "r8 = " + ins.Srcs[0].String(), IR: ins},
+				{Mnemonic: "br.ret", Args: "b0", IR: ins},
+			}
+		}
+		return one(ins, "br.ret", "b0")
+	case ir.OpLoadG:
+		if ins.Float {
+			return one(ins, "ldfd", "%s = [gp+%d]", ins.Dst, 8*ins.Const)
+		}
+		// IA64 integer loads zero-extend: ld1/ld2/ld4/ld8.
+		return one(ins, fmt.Sprintf("ld%d", ins.W.Bits()/8), "%s = [gp+%d]", ins.Dst, 8*ins.Const)
+	case ir.OpStoreG:
+		if ins.Float {
+			return one(ins, "stfd", "[gp+%d] = %s", 8*ins.Const, ins.Srcs[0])
+		}
+		return one(ins, fmt.Sprintf("st%d", ins.W.Bits()/8), "[gp+%d] = %s", 8*ins.Const, ins.Srcs[0])
+	case ir.OpNewArr:
+		return one(ins, "br.call", "b0 = newarray (%s) -> %s", ins.Srcs[0], ins.Dst)
+	case ir.OpArrLoad:
+		// The effective address consumes the full index register: shladd
+		// scales and adds in one instruction when the index is extended.
+		ld := fmt.Sprintf("ld%d", ins.W.Bits()/8)
+		if ins.Float {
+			ld = "ldfd"
+		}
+		return []Instruction{
+			{Mnemonic: "shladd", Args: fmt.Sprintf("%s = %s, %d, %s", ins.Dst, ins.Srcs[1], elemScale(ins.W, ins.Float), ins.Srcs[0]), IR: ins},
+			{Mnemonic: ld, Args: fmt.Sprintf("%s = [%s]", ins.Dst, ins.Dst), IR: ins},
+		}
+	case ir.OpArrStore:
+		st := fmt.Sprintf("st%d", ins.W.Bits()/8)
+		if ins.Float {
+			st = "stfd"
+		}
+		return []Instruction{
+			{Mnemonic: "shladd", Args: fmt.Sprintf("rt = %s, %d, %s", ins.Srcs[1], elemScale(ins.W, ins.Float), ins.Srcs[0]), IR: ins},
+			{Mnemonic: st, Args: fmt.Sprintf("[rt] = %s", ins.Srcs[2]), IR: ins},
+		}
+	case ir.OpArrLen:
+		return one(ins, "ld4", "%s = [%s-8] // length header", ins.Dst, ins.Srcs[0])
+	case ir.OpBr:
+		// cmp4 compares only the low words; cmp the full registers.
+		cmp := "cmp"
+		if ins.W != ir.W64 {
+			cmp = "cmp4"
+		}
+		cond := ins.Cond.String()
+		cond = strings.TrimPrefix(cond, "u") // cmp4.ltu style suffix below
+		suffix := ins.Cond.String()
+		switch ins.Cond {
+		case ir.CondULT, ir.CondULE, ir.CondUGT, ir.CondUGE:
+			suffix = cond + "u"
+		}
+		return []Instruction{
+			{Mnemonic: cmp + "." + suffix, Args: fmt.Sprintf("p6, p7 = %s, %s", ins.Srcs[0], ins.Srcs[1]), IR: ins},
+			{Mnemonic: "(p6) br.cond", Args: blockLabel(fn, ins.Blk.Succs[0]), IR: ins},
+		}
+	case ir.OpFBr:
+		return []Instruction{
+			{Mnemonic: "fcmp." + ins.Cond.String(), Args: fmt.Sprintf("p6, p7 = %s, %s", ins.Srcs[0], ins.Srcs[1]), IR: ins},
+			{Mnemonic: "(p6) br.cond", Args: blockLabel(fn, ins.Blk.Succs[0]), IR: ins},
+		}
+	case ir.OpJmp:
+		return one(ins, "br", "%s", blockLabel(fn, ins.Blk.Succs[0]))
+	case ir.OpTrap:
+		return one(ins, "break", "0")
+	case ir.OpPrint:
+		return one(ins, "br.call", "b0 = print (%s)", ins.Srcs[0])
+	case ir.OpFPrint:
+		return one(ins, "br.call", "b0 = fprint (%s)", ins.Srcs[0])
+	}
+	return one(ins, "nop.i", "0 // %s", ins)
+}
+
+func lowerPPC64(ins *ir.Instr) []Instruction {
+	fn := ins.Blk.Fn
+	wsuf := func() string { // mnemonic word/doubleword suffix
+		if ins.W == ir.W64 {
+			return "d"
+		}
+		return "w"
+	}
+	switch ins.Op {
+	case ir.OpConst:
+		if ir.W16.InRange(ins.Const) {
+			return one(ins, "li", "%s, %d", ins.Dst, ins.Const)
+		}
+		return one(ins, "lis+ori", "%s, %d", ins.Dst, ins.Const)
+	case ir.OpFConst:
+		return one(ins, "lfd", "%s, %g", ins.Dst, ins.F)
+	case ir.OpMov, ir.OpFMov:
+		return one(ins, "mr", "%s, %s", ins.Dst, ins.Srcs[0])
+	case ir.OpAdd:
+		return one(ins, "add", "%s, %s, %s", ins.Dst, ins.Srcs[0], ins.Srcs[1])
+	case ir.OpSub:
+		return one(ins, "subf", "%s, %s, %s", ins.Dst, ins.Srcs[1], ins.Srcs[0])
+	case ir.OpMul:
+		return one(ins, "mull"+wsuf(), "%s, %s, %s", ins.Dst, ins.Srcs[0], ins.Srcs[1])
+	case ir.OpDiv:
+		return one(ins, "div"+wsuf(), "%s, %s, %s", ins.Dst, ins.Srcs[0], ins.Srcs[1])
+	case ir.OpRem:
+		return []Instruction{
+			{Mnemonic: "div" + wsuf(), Args: fmt.Sprintf("rt, %s, %s", ins.Srcs[0], ins.Srcs[1]), IR: ins},
+			{Mnemonic: "mull" + wsuf(), Args: fmt.Sprintf("rt, rt, %s", ins.Srcs[1]), IR: ins},
+			{Mnemonic: "subf", Args: fmt.Sprintf("%s, rt, %s", ins.Dst, ins.Srcs[0]), IR: ins},
+		}
+	case ir.OpAnd:
+		return one(ins, "and", "%s, %s, %s", ins.Dst, ins.Srcs[0], ins.Srcs[1])
+	case ir.OpOr:
+		return one(ins, "or", "%s, %s, %s", ins.Dst, ins.Srcs[0], ins.Srcs[1])
+	case ir.OpXor:
+		return one(ins, "xor", "%s, %s, %s", ins.Dst, ins.Srcs[0], ins.Srcs[1])
+	case ir.OpNot:
+		return one(ins, "nor", "%s, %s, %s", ins.Dst, ins.Srcs[0], ins.Srcs[0])
+	case ir.OpNeg:
+		return one(ins, "neg", "%s, %s", ins.Dst, ins.Srcs[0])
+	case ir.OpShl:
+		return one(ins, "sl"+wsuf(), "%s, %s, %s", ins.Dst, ins.Srcs[0], ins.Srcs[1])
+	case ir.OpAShr:
+		return one(ins, "sra"+wsuf(), "%s, %s, %s", ins.Dst, ins.Srcs[0], ins.Srcs[1])
+	case ir.OpLShr:
+		return one(ins, "srl"+wsuf(), "%s, %s, %s", ins.Dst, ins.Srcs[0], ins.Srcs[1])
+	case ir.OpExt:
+		switch ins.W {
+		case ir.W8:
+			return one(ins, "extsb", "%s, %s", ins.Dst, ins.Srcs[0])
+		case ir.W16:
+			return one(ins, "extsh", "%s, %s", ins.Dst, ins.Srcs[0])
+		}
+		return one(ins, "extsw", "%s, %s", ins.Dst, ins.Srcs[0])
+	case ir.OpZext:
+		// clrldi: rldicl rD, rS, 0, 64-W.
+		return one(ins, "rldicl", "%s, %s, 0, %d", ins.Dst, ins.Srcs[0], 64-ins.W.Bits())
+	case ir.OpExtDummy:
+		return one(ins, "nop", "// just_extended(%s)", ins.Srcs[0])
+	case ir.OpI2D, ir.OpL2D:
+		return []Instruction{
+			{Mnemonic: "std+lfd", Args: fmt.Sprintf("%s, %s", ins.Dst, ins.Srcs[0]), IR: ins},
+			{Mnemonic: "fcfid", Args: fmt.Sprintf("%s, %s", ins.Dst, ins.Dst), IR: ins},
+		}
+	case ir.OpD2I:
+		return one(ins, "fctiwz", "%s, %s", ins.Dst, ins.Srcs[0])
+	case ir.OpD2L:
+		return one(ins, "fctidz", "%s, %s", ins.Dst, ins.Srcs[0])
+	case ir.OpFAdd:
+		return one(ins, "fadd", "%s, %s, %s", ins.Dst, ins.Srcs[0], ins.Srcs[1])
+	case ir.OpFSub:
+		return one(ins, "fsub", "%s, %s, %s", ins.Dst, ins.Srcs[0], ins.Srcs[1])
+	case ir.OpFMul:
+		return one(ins, "fmul", "%s, %s, %s", ins.Dst, ins.Srcs[0], ins.Srcs[1])
+	case ir.OpFDiv:
+		return one(ins, "fdiv", "%s, %s, %s", ins.Dst, ins.Srcs[0], ins.Srcs[1])
+	case ir.OpFNeg:
+		return one(ins, "fneg", "%s, %s", ins.Dst, ins.Srcs[0])
+	case ir.OpFCall, ir.OpCall:
+		args := make([]string, len(ins.Args))
+		for k, r := range ins.Args {
+			args[k] = r.String()
+		}
+		s := fmt.Sprintf("%s (%s)", ins.Callee, strings.Join(args, ", "))
+		if ins.HasDst() {
+			s += " -> " + ins.Dst.String()
+		}
+		return one(ins, "bl", "%s", s)
+	case ir.OpRet:
+		if ins.NSrcs == 1 {
+			return []Instruction{
+				{Mnemonic: "mr", Args: "r3, " + ins.Srcs[0].String(), IR: ins},
+				{Mnemonic: "blr", IR: ins},
+			}
+		}
+		return []Instruction{{Mnemonic: "blr", IR: ins}}
+	case ir.OpLoadG:
+		if ins.Float {
+			return one(ins, "lfd", "%s, %d(r2)", ins.Dst, 8*ins.Const)
+		}
+		// PPC64 narrow loads sign-extend in this model (lwa/lha); there is
+		// no lba, so byte loads pair lbz with extsb.
+		switch ins.W {
+		case ir.W8:
+			return []Instruction{
+				{Mnemonic: "lbz", Args: fmt.Sprintf("%s, %d(r2)", ins.Dst, 8*ins.Const), IR: ins},
+				{Mnemonic: "extsb", Args: fmt.Sprintf("%s, %s", ins.Dst, ins.Dst), IR: ins},
+			}
+		case ir.W16:
+			return one(ins, "lha", "%s, %d(r2)", ins.Dst, 8*ins.Const)
+		case ir.W64:
+			return one(ins, "ld", "%s, %d(r2)", ins.Dst, 8*ins.Const)
+		}
+		return one(ins, "lwa", "%s, %d(r2)", ins.Dst, 8*ins.Const)
+	case ir.OpStoreG:
+		if ins.Float {
+			return one(ins, "stfd", "%s, %d(r2)", ins.Srcs[0], 8*ins.Const)
+		}
+		mn := map[ir.Width]string{ir.W8: "stb", ir.W16: "sth", ir.W32: "stw", ir.W64: "std"}[ins.W]
+		return one(ins, mn, "%s, %d(r2)", ins.Srcs[0], 8*ins.Const)
+	case ir.OpNewArr:
+		return one(ins, "bl", "newarray (%s) -> %s", ins.Srcs[0], ins.Dst)
+	case ir.OpArrLoad:
+		ld := map[ir.Width]string{ir.W8: "lbzx", ir.W16: "lhax", ir.W32: "lwax", ir.W64: "ldx"}[ins.W]
+		if ins.Float {
+			ld = "lfdx"
+		}
+		seq := []Instruction{
+			{Mnemonic: "sldi", Args: fmt.Sprintf("rt, %s, %d", ins.Srcs[1], elemScale(ins.W, ins.Float)), IR: ins},
+			{Mnemonic: ld, Args: fmt.Sprintf("%s, %s, rt", ins.Dst, ins.Srcs[0]), IR: ins},
+		}
+		if ins.W == ir.W8 && !ins.Float {
+			seq = append(seq, Instruction{Mnemonic: "extsb", Args: fmt.Sprintf("%s, %s", ins.Dst, ins.Dst), IR: ins})
+		}
+		return seq
+	case ir.OpArrStore:
+		st := map[ir.Width]string{ir.W8: "stbx", ir.W16: "sthx", ir.W32: "stwx", ir.W64: "stdx"}[ins.W]
+		if ins.Float {
+			st = "stfdx"
+		}
+		return []Instruction{
+			{Mnemonic: "sldi", Args: fmt.Sprintf("rt, %s, %d", ins.Srcs[1], elemScale(ins.W, ins.Float)), IR: ins},
+			{Mnemonic: st, Args: fmt.Sprintf("%s, %s, rt", ins.Srcs[2], ins.Srcs[0]), IR: ins},
+		}
+	case ir.OpArrLen:
+		return one(ins, "lwa", "%s, -8(%s) // length header", ins.Dst, ins.Srcs[0])
+	case ir.OpBr:
+		cmp := "cmp" + wsuf()
+		switch ins.Cond {
+		case ir.CondULT, ir.CondULE, ir.CondUGT, ir.CondUGE:
+			cmp = "cmpl" + wsuf()
+		}
+		bcc := map[ir.Cond]string{
+			ir.CondEQ: "beq", ir.CondNE: "bne", ir.CondLT: "blt", ir.CondLE: "ble",
+			ir.CondGT: "bgt", ir.CondGE: "bge", ir.CondULT: "blt", ir.CondULE: "ble",
+			ir.CondUGT: "bgt", ir.CondUGE: "bge",
+		}[ins.Cond]
+		return []Instruction{
+			{Mnemonic: cmp, Args: fmt.Sprintf("cr0, %s, %s", ins.Srcs[0], ins.Srcs[1]), IR: ins},
+			{Mnemonic: bcc, Args: blockLabel(fn, ins.Blk.Succs[0]), IR: ins},
+		}
+	case ir.OpFBr:
+		bcc := map[ir.Cond]string{
+			ir.CondEQ: "beq", ir.CondNE: "bne", ir.CondLT: "blt", ir.CondLE: "ble",
+			ir.CondGT: "bgt", ir.CondGE: "bge",
+		}[ins.Cond]
+		if bcc == "" {
+			bcc = "bge"
+		}
+		return []Instruction{
+			{Mnemonic: "fcmpu", Args: fmt.Sprintf("cr0, %s, %s", ins.Srcs[0], ins.Srcs[1]), IR: ins},
+			{Mnemonic: bcc, Args: blockLabel(fn, ins.Blk.Succs[0]), IR: ins},
+		}
+	case ir.OpJmp:
+		return one(ins, "b", "%s", blockLabel(fn, ins.Blk.Succs[0]))
+	case ir.OpTrap:
+		return one(ins, "trap", "")
+	case ir.OpPrint:
+		return one(ins, "bl", "print (%s)", ins.Srcs[0])
+	case ir.OpFPrint:
+		return one(ins, "bl", "fprint (%s)", ins.Srcs[0])
+	}
+	return one(ins, "nop", "// %s", ins)
+}
+
+// CostModel returns the per-instruction cycle cost function for the machine
+// model, the pricing behind the modelled-cycles numbers. Costs are coarse
+// structural latencies (agreed per opcode class, not per microarchitecture):
+// what matters for the paper's figures is that extensions, loads and address
+// arithmetic carry realistic relative weights.
+func CostModel(m ir.Machine) func(*ir.Instr) int64 {
+	return func(ins *ir.Instr) int64 {
+		switch ins.Op {
+		case ir.OpExtDummy:
+			return 0 // markers never reach generated code
+		case ir.OpConst, ir.OpMov, ir.OpFMov, ir.OpAdd, ir.OpSub, ir.OpAnd,
+			ir.OpOr, ir.OpXor, ir.OpNot, ir.OpNeg, ir.OpShl, ir.OpAShr,
+			ir.OpLShr, ir.OpExt, ir.OpZext, ir.OpJmp:
+			return 1
+		case ir.OpBr, ir.OpFBr:
+			return 2 // compare + branch
+		case ir.OpMul:
+			if m == ir.IA64 {
+				return 7 // xma.l round-trips through the FP unit
+			}
+			return 5
+		case ir.OpDiv, ir.OpRem:
+			return 35
+		case ir.OpFConst, ir.OpLoadG, ir.OpArrLen:
+			return 2
+		case ir.OpStoreG:
+			return 1
+		case ir.OpArrLoad:
+			return 3 // scaled EA + load
+		case ir.OpArrStore:
+			return 2
+		case ir.OpNewArr:
+			return 50
+		case ir.OpI2D, ir.OpL2D, ir.OpD2I, ir.OpD2L:
+			return 5
+		case ir.OpFAdd, ir.OpFSub, ir.OpFMul, ir.OpFNeg:
+			return 4
+		case ir.OpFDiv:
+			return 30
+		case ir.OpCall, ir.OpRet:
+			return 5
+		case ir.OpFCall:
+			return 20
+		case ir.OpPrint, ir.OpFPrint:
+			return 10
+		case ir.OpTrap:
+			return 1
+		}
+		return 1
+	}
+}

@@ -1,0 +1,135 @@
+package target
+
+import (
+	"strings"
+	"testing"
+
+	"signext/internal/extelim"
+	"signext/internal/ir"
+)
+
+// buildLoop returns a 64-bit-form function with a narrow loop: a 32-bit
+// compare, an extension, an array access and a call-free epilogue.
+func buildLoop(mach ir.Machine) *ir.Func {
+	b := ir.NewFunc("loop")
+	n := b.Const(ir.W32, 8)
+	a := b.NewArr(ir.W32, false, n)
+	i := b.Fn.NewReg()
+	b.ConstTo(ir.W32, i, 0)
+	loop, exit := b.NewBlock(), b.NewBlock()
+	b.Jmp(loop)
+	b.SetBlock(loop)
+	v := b.ArrLoad(ir.W32, false, a, i)
+	d := b.I2D(v)
+	b.FPrint(d)
+	b.OpTo(ir.OpAdd, ir.W32, i, i, b.Const(ir.W32, 1))
+	b.Br(ir.W32, ir.CondLT, i, n, loop, exit)
+	b.SetBlock(exit)
+	b.Ret(ir.NoReg)
+	fn := b.Fn
+	extelim.Convert64(fn, mach)
+	return fn
+}
+
+func TestLowerIA64Mnemonics(t *testing.T) {
+	fn := buildLoop(ir.IA64)
+	asm := Lower(fn, ir.IA64)
+	text := asm.Format()
+	for _, want := range []string{"cmp4.lt", "shladd", "sxt4", "ld4", "br.cond"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("IA64 lowering lacks %q:\n%s", want, text)
+		}
+	}
+	if asm.Count("sxt4") != fn.CountOp(ir.OpExt) {
+		t.Errorf("sxt4 count %d != OpExt count %d", asm.Count("sxt4"), fn.CountOp(ir.OpExt))
+	}
+}
+
+func TestLowerPPC64Mnemonics(t *testing.T) {
+	fn := buildLoop(ir.PPC64)
+	asm := Lower(fn, ir.PPC64)
+	text := asm.Format()
+	for _, want := range []string{"cmpw", "sldi", "lwax", "blt"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("PPC64 lowering lacks %q:\n%s", want, text)
+		}
+	}
+	if n := fn.CountOp(ir.OpExt); n > 0 && asm.Count("extsw") == 0 {
+		t.Errorf("%d extensions lowered without extsw", n)
+	}
+}
+
+func TestLowerCoversEveryOpcode(t *testing.T) {
+	// Every opcode the frontends can emit must lower without hitting the
+	// nop fallback (dummies excepted: they are removed before lowering).
+	b := ir.NewFunc("all")
+	g0 := 0
+	x := b.Const(ir.W32, 5)
+	y := b.Const(ir.W64, 1<<40)
+	f := b.FConst(1.5)
+	b.StoreG(ir.W32, g0, x)
+	l := b.LoadG(ir.W32, g0)
+	arr := b.NewArr(ir.W16, false, x)
+	b.ArrStore(ir.W16, false, arr, x, l)
+	v := b.ArrLoad(ir.W16, false, arr, x)
+	b.ArrLen(arr)
+	b.Add(ir.W32, v, x)
+	b.Sub(ir.W32, v, x)
+	b.Mul(ir.W32, v, x)
+	b.Div(ir.W32, v, x)
+	b.Rem(ir.W32, v, x)
+	b.And(ir.W32, v, x)
+	b.Or(ir.W32, v, x)
+	b.Xor(ir.W32, v, x)
+	b.Not(ir.W32, v)
+	b.Neg(ir.W32, v)
+	b.Shl(ir.W32, v, x)
+	b.AShr(ir.W32, v, x)
+	b.LShr(ir.W64, y, x)
+	b.Ext(ir.W32, v)
+	b.Zext(ir.W16, v)
+	dd := b.I2D(v)
+	b.L2D(y)
+	b.D2I(f)
+	b.D2L(f)
+	b.FAdd(f, dd)
+	b.FSub(f, dd)
+	b.FMul(f, dd)
+	b.FDiv(f, dd)
+	b.FNeg(f)
+	b.Mov(ir.W64, y)
+	b.FMov(f)
+	b.Print(ir.W32, v)
+	b.FPrint(f)
+	b.Ret(ir.NoReg)
+	fn := b.Fn
+
+	for _, m := range []ir.Machine{ir.IA64, ir.PPC64} {
+		asm := Lower(fn, m)
+		if n := asm.Count("nop.i") + asm.Count("nop"); n > 0 {
+			t.Errorf("%v: %d opcodes fell through to nop:\n%s", m, n, asm.Format())
+		}
+	}
+}
+
+func TestCostModelPositive(t *testing.T) {
+	fn := buildLoop(ir.IA64)
+	for _, m := range []ir.Machine{ir.IA64, ir.PPC64} {
+		cost := CostModel(m)
+		fn.ForEachInstr(func(_ *ir.Block, ins *ir.Instr) {
+			c := cost(ins)
+			if ins.Op == ir.OpExtDummy {
+				if c != 0 {
+					t.Errorf("%v: dummy costs %d cycles", m, c)
+				}
+				return
+			}
+			if c <= 0 {
+				t.Errorf("%v: %s costs %d cycles", m, ins, c)
+			}
+		})
+	}
+	if CostModel(ir.IA64)(&ir.Instr{Op: ir.OpMul, W: ir.W32}) <= CostModel(ir.IA64)(&ir.Instr{Op: ir.OpAdd, W: ir.W32}) {
+		t.Error("multiply not more expensive than add")
+	}
+}

@@ -63,6 +63,30 @@ type Options struct {
 	MaxArrayLen int64 // the language's maxlen; 0 means Java's 0x7fffffff
 	NoGeneral   bool  // disable the Figure 5 step (2) general optimizations
 	WithProfile bool  // run the interpreter tier first for branch profiles
+
+	// Checked runs the deep IR verifier at every phase boundary; a failing
+	// function reverts to its pre-phase code (see Result.Fallbacks) instead
+	// of aborting compilation.
+	Checked bool
+
+	// CheckedRun additionally executes the compiled program against the
+	// Baseline-variant reference in the interpreter after compilation and
+	// fails with an error on any output divergence or dynamic
+	// extension-count regression.
+	CheckedRun bool
+
+	// ElimBudget caps the elimination phase's per-function analysis work;
+	// exhaustion disables the phase for that function. 0 means unlimited.
+	ElimBudget int
+}
+
+// Fallback describes one optimizer phase that panicked, failed verification,
+// or exhausted its work budget and was therefore disabled for one function.
+// The compiled code is still correct: that function runs its pre-phase code.
+type Fallback struct {
+	Phase  string // pipeline phase that failed
+	Func   string // function it was disabled for
+	Reason string // one-line diagnosis
 }
 
 // Result is a compiled program.
@@ -82,6 +106,25 @@ func (r *Result) Inserted() int { return r.res.Stats.Inserted }
 
 // IR returns the compiled program for inspection.
 func (r *Result) IR() *ir.Program { return r.res.Prog }
+
+// Fallbacks reports every phase the guarded pipeline disabled per function
+// (after a panic, a verifier rejection, or budget exhaustion). Empty on a
+// clean compile.
+func (r *Result) Fallbacks() []Fallback {
+	var fbs []Fallback
+	for _, pe := range r.res.Fallbacks {
+		fbs = append(fbs, Fallback{Phase: pe.Phase, Func: pe.Func, Reason: pe.Error()})
+	}
+	return fbs
+}
+
+// Check runs the differential oracle against the Baseline-variant reference:
+// identical output and traps, non-increasing dynamic extension count. It
+// returns nil when the optimized program is observably sound.
+func (r *Result) Check() error {
+	_, err := jit.OracleCheck(r.src, r.res, "main")
+	return err
+}
 
 // Format renders a compiled function as IR text.
 func (r *Result) Format(fn string) string {
@@ -161,9 +204,17 @@ func CompileProgram(prog *ir.Program, o Options) (*Result, error) {
 		MaxArrayLen: o.MaxArrayLen,
 		GeneralOpts: !o.NoGeneral,
 		Profile:     profile,
+		Checked:     o.Checked || o.CheckedRun,
+		ElimBudget:  o.ElimBudget,
 	})
 	if err != nil {
 		return nil, err
 	}
-	return &Result{res: res, src: prog}, nil
+	r := &Result{res: res, src: prog}
+	if o.CheckedRun {
+		if err := r.Check(); err != nil {
+			return r, err
+		}
+	}
+	return r, nil
 }

@@ -82,3 +82,47 @@ func TestFacadeCompileError(t *testing.T) {
 		t.Fatalf("unhelpful error: %v", err)
 	}
 }
+
+func TestFacadeCheckedRun(t *testing.T) {
+	res, err := signext.CompileSource(apiSrc, signext.Options{
+		Variant: signext.VariantAll, Machine: signext.IA64, CheckedRun: true,
+	})
+	if err != nil {
+		t.Fatalf("guarded compile + oracle rejected a sound program: %v", err)
+	}
+	if fbs := res.Fallbacks(); len(fbs) != 0 {
+		t.Fatalf("spurious fallbacks: %v", fbs)
+	}
+	if err := res.Check(); err != nil {
+		t.Fatalf("explicit re-check failed: %v", err)
+	}
+}
+
+func TestFacadeBudgetFallback(t *testing.T) {
+	res, err := signext.CompileSource(apiSrc, signext.Options{
+		Variant: signext.VariantAll, Machine: signext.IA64, CheckedRun: true, ElimBudget: 1,
+	})
+	if err != nil {
+		t.Fatalf("budget fallback must still compile and pass the oracle: %v", err)
+	}
+	fbs := res.Fallbacks()
+	if len(fbs) == 0 {
+		t.Fatal("budget exhaustion not reported")
+	}
+	for _, fb := range fbs {
+		if fb.Phase != "signext" || fb.Func == "" || !strings.Contains(fb.Reason, "budget") {
+			t.Fatalf("malformed fallback record: %+v", fb)
+		}
+	}
+	ref, err := res.ReferenceRun()
+	if err != nil {
+		t.Fatal(err)
+	}
+	run, err := res.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if run.Output != ref {
+		t.Fatalf("fallback code diverged:\nref %q\ngot %q", ref, run.Output)
+	}
+}
