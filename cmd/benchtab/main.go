@@ -1,20 +1,26 @@
 // Command benchtab regenerates the paper's evaluation artifacts: Tables 1-3
-// and Figures 11-14.
+// and Figures 11-14, plus the compile-driver benchmark artifact.
 //
 // Usage:
 //
-//	benchtab -all                  # everything
-//	benchtab -table 1              # jBYTEmark dynamic counts
-//	benchtab -table 2              # SPECjvm98 dynamic counts
-//	benchtab -table 3              # compilation time breakdown
-//	benchtab -figure 13            # jBYTEmark performance improvement
-//	benchtab -machine ppc64        # switch the machine model
-//	benchtab -noprofile            # static frequency estimates only
+//	benchtab -all                        # everything, to stdout
+//	benchtab -all -o results.txt         # everything, to a file
+//	benchtab -table 1                    # jBYTEmark dynamic counts
+//	benchtab -table 2                    # SPECjvm98 dynamic counts
+//	benchtab -table 3                    # compilation time breakdown
+//	benchtab -figure 13                  # jBYTEmark performance improvement
+//	benchtab -machine ppc64              # switch the machine model
+//	benchtab -noprofile                  # static frequency estimates only
+//	benchtab -parallel 8                 # compile-driver worker count
+//	benchtab -compilebench -o BENCH_compile.json   # compile-time benchmark (JSON)
+//	benchtab -validate BENCH_compile.json          # sanity-check an artifact
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"signext/internal/bench"
@@ -28,6 +34,11 @@ func main() {
 	all := flag.Bool("all", false, "regenerate every table and figure")
 	machine := flag.String("machine", "ia64", "machine model: ia64 or ppc64")
 	noprofile := flag.Bool("noprofile", false, "disable interpreter branch profiles")
+	out := flag.String("o", "", "write output to this file instead of stdout")
+	parallel := flag.Int("parallel", 0, "compile-driver worker count (0 = all CPUs, 1 = sequential)")
+	compilebench := flag.Bool("compilebench", false, "run the compile-driver benchmark and emit the BENCH_compile.json artifact")
+	repeats := flag.Int("repeats", 3, "compile-benchmark timing repeats (minimum wall kept)")
+	validate := flag.String("validate", "", "validate an existing BENCH_compile.json artifact and exit")
 	flag.Parse()
 
 	mach := ir.IA64
@@ -37,12 +48,72 @@ func main() {
 		fmt.Fprintln(os.Stderr, "benchtab: unknown machine", *machine)
 		os.Exit(2)
 	}
+
+	if *validate != "" {
+		data, err := os.ReadFile(*validate)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchtab:", err)
+			os.Exit(1)
+		}
+		r, err := bench.ValidateCompileBenchJSON(data)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchtab:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("benchtab: %s OK: %d workloads, %s/%s, parallelism %d on %d CPUs, speedup %.2fx\n",
+			*validate, len(r.Workloads), r.Suite, r.Machine, r.Parallelism, r.NumCPU, r.Speedup)
+		return
+	}
+
+	// Output sink: stdout by default, -o path otherwise.
+	var w io.Writer = os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchtab:", err)
+			os.Exit(1)
+		}
+		defer func() {
+			if err := f.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, "benchtab:", err)
+				os.Exit(1)
+			}
+		}()
+		w = f
+	}
+
+	if *compilebench {
+		fmt.Fprintf(os.Stderr, "benchtab: compile benchmark (%d workloads, %d repeats)...\n",
+			len(workloads.All()), *repeats)
+		r, err := bench.CompileBench(workloads.All(), bench.CompileBenchOptions{
+			Machine: mach, UseProfile: !*noprofile,
+			Parallelism: *parallel, Repeats: *repeats,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchtab:", err)
+			os.Exit(1)
+		}
+		if err := r.Validate(); err != nil {
+			fmt.Fprintln(os.Stderr, "benchtab:", err)
+			os.Exit(1)
+		}
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(r); err != nil {
+			fmt.Fprintln(os.Stderr, "benchtab:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "benchtab: compile speedup %.2fx at parallelism %d (%d CPUs)\n",
+			r.Speedup, r.Parallelism, r.NumCPU)
+		return
+	}
+
 	if !*all && *table == 0 && *figure == 0 {
 		flag.Usage()
 		os.Exit(2)
 	}
 
-	opts := bench.Options{Machine: mach, UseProfile: !*noprofile}
+	opts := bench.Options{Machine: mach, UseProfile: !*noprofile, Parallelism: *parallel}
 	var jb, spec *bench.SuiteResult
 	needJB := *all || *table == 1 || *table == 3 || *figure == 11 || *figure == 13
 	needSpec := *all || *table == 2 || *table == 3 || *figure == 12 || *figure == 14
@@ -70,7 +141,7 @@ func main() {
 
 	show := func(cond bool, s string) {
 		if cond {
-			fmt.Println(s)
+			fmt.Fprintln(w, s)
 		}
 	}
 	show(*all || *table == 1,
@@ -97,7 +168,7 @@ func main() {
 		if jb != nil {
 			rs = append(rs, jb)
 		}
-		fmt.Println(bench.FormatTimingTable(rs))
+		fmt.Fprintln(w, bench.FormatTimingTable(rs))
 	}
 }
 

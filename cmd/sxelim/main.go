@@ -81,6 +81,7 @@ func run() error {
 	profile := flag.Bool("profile", true, "use interpreter branch profiles for order determination")
 	check := flag.Bool("check", false, "guarded pipeline: verify IR at phase boundaries and run the differential oracle")
 	budget := flag.Int("budget", 0, "per-function elimination work budget (0 = unlimited)")
+	parallel := flag.Int("parallel", 0, "compile-driver worker count (0 = all CPUs, 1 = sequential)")
 	flag.Parse()
 
 	if flag.NArg() != 1 {
@@ -104,6 +105,7 @@ func run() error {
 		o.Checked = o.Checked || *check
 		o.CheckedRun = o.CheckedRun || *check
 		o.ElimBudget = *budget
+		o.Parallelism = *parallel
 		res, err := func() (res *signext.Result, err error) {
 			if irProg != nil {
 				return signext.CompileProgram(irProg, o)

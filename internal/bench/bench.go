@@ -36,6 +36,7 @@ type Options struct {
 	UseProfile  bool // feed interpreter branch profiles to order determination
 	Variants    []jit.Variant
 	MaxArrayLen int64
+	Parallelism int // jit.Options.Parallelism: 0 = all CPUs, 1 = sequential
 }
 
 // RunSuite compiles and executes every workload under every variant.
@@ -82,6 +83,7 @@ func RunSuite(ws []workloads.Workload, o Options) (*SuiteResult, error) {
 				MaxArrayLen: o.MaxArrayLen,
 				GeneralOpts: true,
 				Profile:     profile,
+				Parallelism: o.Parallelism,
 			})
 			if err != nil {
 				return nil, fmt.Errorf("%s/%s: %w", w.Name, v, err)

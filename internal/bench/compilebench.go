@@ -1,0 +1,224 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"runtime"
+	"strings"
+	"time"
+
+	"signext/internal/interp"
+	"signext/internal/ir"
+	"signext/internal/jit"
+	"signext/internal/minijava"
+	"signext/internal/workloads"
+)
+
+// CompileBenchOptions configures a compile-driver benchmark run.
+type CompileBenchOptions struct {
+	Machine     ir.Machine
+	Variant     jit.Variant // defaults to jit.All
+	UseProfile  bool
+	Parallelism int // worker count of the parallel leg; 0 = runtime.GOMAXPROCS(0)
+	Repeats     int // timing repeats per leg, minimum wall kept; 0 = 3
+}
+
+// CompileBenchWorkload is one workload's compile measurement: the same
+// program compiled sequentially and with the worker pool.
+type CompileBenchWorkload struct {
+	Name      string  `json:"name"`
+	Funcs     int     `json:"funcs"`
+	SeqWallNS int64   `json:"seq_wall_ns"` // Parallelism = 1, min over repeats
+	ParWallNS int64   `json:"par_wall_ns"` // Parallelism = N, min over repeats
+	WorkNS    int64   `json:"work_ns"`     // Timing.Total() of the parallel leg
+	Speedup   float64 `json:"speedup"`     // SeqWallNS / ParWallNS
+	Identical bool    `json:"identical"`   // parallel result bit-identical to sequential
+	Exts      int     `json:"static_exts"` // surviving extensions (same both legs)
+	Elim      int     `json:"eliminated"`  // eliminated extensions (same both legs)
+
+	// Phases is the per-function, per-phase telemetry of the parallel leg's
+	// final repeat — the compile-time trajectory record.
+	Phases []jit.PhaseRecord `json:"phases"`
+}
+
+// CompileBenchResult is the BENCH_compile.json artifact: the compile-driver
+// benchmark over one workload suite.
+type CompileBenchResult struct {
+	Suite       string                 `json:"suite"`
+	Machine     string                 `json:"machine"`
+	Variant     string                 `json:"variant"`
+	Parallelism int                    `json:"parallelism"` // resolved worker count of the parallel leg
+	NumCPU      int                    `json:"num_cpu"`
+	Repeats     int                    `json:"repeats"`
+	Workloads   []CompileBenchWorkload `json:"workloads"`
+	TotalSeqNS  int64                  `json:"total_seq_wall_ns"`
+	TotalParNS  int64                  `json:"total_par_wall_ns"`
+	Speedup     float64                `json:"speedup"` // TotalSeqNS / TotalParNS
+}
+
+// compileFingerprint captures everything that must not depend on the worker
+// count: IR, statistics, telemetry shape (minus walls) and fallbacks.
+func compileFingerprint(res *jit.Result) string {
+	var b strings.Builder
+	for _, fn := range res.Prog.Funcs {
+		b.WriteString(fn.Format())
+	}
+	fmt.Fprintf(&b, "stats=%+v static=%d\n", res.Stats, res.StaticExts)
+	for _, r := range res.Telemetry {
+		fmt.Fprintf(&b, "tel %s %s %d %d %d %v\n", r.Func, r.Phase, r.Eliminated, r.Inserted, r.Dummies, r.Fallback)
+	}
+	for _, fb := range res.Fallbacks {
+		fmt.Fprintf(&b, "fb %s %s\n", fb.Phase, fb.Func)
+	}
+	return b.String()
+}
+
+// CompileBench compiles every workload under the chosen variant twice — once
+// strictly sequentially, once on the worker pool — verifying the two produce
+// bit-identical results and recording wall times and per-phase telemetry.
+func CompileBench(ws []workloads.Workload, o CompileBenchOptions) (*CompileBenchResult, error) {
+	if o.Repeats <= 0 {
+		o.Repeats = 3
+	}
+	par := o.Parallelism
+	if par <= 0 {
+		par = runtime.GOMAXPROCS(0)
+	}
+	variant := o.Variant
+	if variant == jit.Baseline {
+		variant = jit.All // zero value; Baseline has no sign-ext phase to measure
+	}
+	res := &CompileBenchResult{
+		Machine:     o.Machine.String(),
+		Variant:     variant.String(),
+		Parallelism: par,
+		NumCPU:      runtime.NumCPU(),
+		Repeats:     o.Repeats,
+	}
+	if len(ws) > 0 {
+		res.Suite = ws[0].Suite
+		for _, w := range ws {
+			if w.Suite != res.Suite {
+				res.Suite = "all"
+				break
+			}
+		}
+	}
+	for _, w := range ws {
+		cu, err := minijava.Compile(w.Source)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", w.Name, err)
+		}
+		var profile interp.Profile
+		if o.UseProfile {
+			ref, err := interp.Run(cu.Prog, "main", interp.Options{Mode: interp.Mode32, Profile: true})
+			if err != nil {
+				return nil, fmt.Errorf("%s: profile run: %w", w.Name, err)
+			}
+			profile = ref.Profile
+		}
+		jo := jit.Options{
+			Variant: variant, Machine: o.Machine, GeneralOpts: true, Profile: profile,
+		}
+		leg := func(parallelism int) (*jit.Result, time.Duration, error) {
+			jo.Parallelism = parallelism
+			var best *jit.Result
+			var bestWall time.Duration
+			for r := 0; r < o.Repeats; r++ {
+				cr, err := jit.Compile(cu.Prog, jo)
+				if err != nil {
+					return nil, 0, err
+				}
+				if best == nil || cr.Timing.Wall < bestWall {
+					best, bestWall = cr, cr.Timing.Wall
+				}
+			}
+			return best, bestWall, nil
+		}
+		seq, seqWall, err := leg(1)
+		if err != nil {
+			return nil, fmt.Errorf("%s: sequential compile: %w", w.Name, err)
+		}
+		pr, parWall, err := leg(par)
+		if err != nil {
+			return nil, fmt.Errorf("%s: parallel compile: %w", w.Name, err)
+		}
+		wl := CompileBenchWorkload{
+			Name:      w.Name,
+			Funcs:     len(cu.Prog.Funcs),
+			SeqWallNS: int64(seqWall),
+			ParWallNS: int64(parWall),
+			WorkNS:    int64(pr.Timing.Total()),
+			Identical: compileFingerprint(seq) == compileFingerprint(pr),
+			Exts:      pr.StaticExts,
+			Elim:      pr.Stats.Eliminated,
+			Phases:    pr.Telemetry,
+		}
+		if wl.ParWallNS > 0 {
+			wl.Speedup = float64(wl.SeqWallNS) / float64(wl.ParWallNS)
+		}
+		res.TotalSeqNS += wl.SeqWallNS
+		res.TotalParNS += wl.ParWallNS
+		res.Workloads = append(res.Workloads, wl)
+	}
+	if res.TotalParNS > 0 {
+		res.Speedup = float64(res.TotalSeqNS) / float64(res.TotalParNS)
+	}
+	return res, nil
+}
+
+// Validate sanity-checks a decoded BENCH_compile.json: every workload must
+// have been measured, produced identical sequential/parallel results, and
+// carry complete telemetry. It returns nil for a healthy artifact.
+func (r *CompileBenchResult) Validate() error {
+	if len(r.Workloads) == 0 {
+		return fmt.Errorf("compilebench: no workloads recorded")
+	}
+	if r.Parallelism < 1 || r.NumCPU < 1 || r.Repeats < 1 {
+		return fmt.Errorf("compilebench: implausible run parameters: parallelism=%d num_cpu=%d repeats=%d",
+			r.Parallelism, r.NumCPU, r.Repeats)
+	}
+	for _, w := range r.Workloads {
+		if !w.Identical {
+			return fmt.Errorf("compilebench: %s: parallel compile NOT identical to sequential", w.Name)
+		}
+		if w.SeqWallNS <= 0 || w.ParWallNS <= 0 {
+			return fmt.Errorf("compilebench: %s: missing wall times (seq=%d par=%d)", w.Name, w.SeqWallNS, w.ParWallNS)
+		}
+		if w.Funcs < 1 {
+			return fmt.Errorf("compilebench: %s: no functions", w.Name)
+		}
+		if len(w.Phases) == 0 {
+			return fmt.Errorf("compilebench: %s: no phase telemetry", w.Name)
+		}
+		var work int64
+		perFunc := map[string]bool{}
+		for _, p := range w.Phases {
+			if p.Wall < 0 {
+				return fmt.Errorf("compilebench: %s: negative phase wall in %s/%s", w.Name, p.Func, p.Phase)
+			}
+			work += int64(p.Wall)
+			perFunc[p.Func] = true
+		}
+		if work != w.WorkNS {
+			return fmt.Errorf("compilebench: %s: phase walls sum to %d, recorded work %d (accounting broken)",
+				w.Name, work, w.WorkNS)
+		}
+	}
+	if r.Speedup <= 0 {
+		return fmt.Errorf("compilebench: missing aggregate speedup")
+	}
+	return nil
+}
+
+// ValidateCompileBenchJSON decodes and validates a BENCH_compile.json blob.
+func ValidateCompileBenchJSON(data []byte) (*CompileBenchResult, error) {
+	var r CompileBenchResult
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, fmt.Errorf("compilebench: bad JSON: %w", err)
+	}
+	if err := r.Validate(); err != nil {
+		return nil, err
+	}
+	return &r, nil
+}

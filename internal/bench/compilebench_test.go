@@ -1,0 +1,78 @@
+package bench
+
+import (
+	"encoding/json"
+	"testing"
+
+	"signext/internal/ir"
+	"signext/internal/jit"
+)
+
+func TestCompileBenchArtifact(t *testing.T) {
+	res, err := CompileBench(miniSuite(), CompileBenchOptions{
+		Machine: ir.IA64, UseProfile: true, Parallelism: 4, Repeats: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Validate(); err != nil {
+		t.Fatalf("fresh result does not validate: %v", err)
+	}
+	if len(res.Workloads) != 2 || res.Parallelism != 4 {
+		t.Fatalf("unexpected shape: %+v", res)
+	}
+	for _, w := range res.Workloads {
+		if !w.Identical {
+			t.Fatalf("%s: parallel compile diverged from sequential", w.Name)
+		}
+		if w.Elim <= 0 {
+			t.Fatalf("%s: the full variant should eliminate extensions, got %d", w.Name, w.Elim)
+		}
+		var signext bool
+		for _, p := range w.Phases {
+			if p.Phase == jit.PhaseSignExt {
+				signext = true
+			}
+		}
+		if !signext {
+			t.Fatalf("%s: telemetry missing the signext phase: %+v", w.Name, w.Phases)
+		}
+	}
+
+	// The artifact must survive a JSON round trip and still validate.
+	blob, err := json.Marshal(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := ValidateCompileBenchJSON(blob)
+	if err != nil {
+		t.Fatalf("round-tripped artifact rejected: %v", err)
+	}
+	if back.Speedup != res.Speedup || len(back.Workloads) != len(res.Workloads) {
+		t.Fatalf("round trip lost data: %+v vs %+v", back, res)
+	}
+}
+
+func TestCompileBenchValidateCatchesCorruption(t *testing.T) {
+	res, err := CompileBench(miniSuite()[:1], CompileBenchOptions{
+		Machine: ir.IA64, Parallelism: 2, Repeats: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := *res
+	bad.Workloads = append([]CompileBenchWorkload(nil), res.Workloads...)
+	bad.Workloads[0].Identical = false
+	if bad.Validate() == nil {
+		t.Fatal("validation must fail on a non-identical parallel compile")
+	}
+	bad = *res
+	bad.Workloads = append([]CompileBenchWorkload(nil), res.Workloads...)
+	bad.Workloads[0].WorkNS += 12345
+	if bad.Validate() == nil {
+		t.Fatal("validation must fail when phase walls do not sum to the recorded work")
+	}
+	if _, err := ValidateCompileBenchJSON([]byte("{not json")); err == nil {
+		t.Fatal("validation must fail on malformed JSON")
+	}
+}

@@ -170,6 +170,93 @@ func sameStrings(a, b []string) bool {
 	return true
 }
 
+// buildChained is the stale-chain trap of the elimination phase: two chained
+// same-register extensions over a dirty definition,
+//
+//	r  = p0 + p0      <- dirty (32-bit add leaves undefined upper bits)
+//	e1 = ext.32 r     <- removable: its only use (e2) reads the low word
+//	e2 = ext.32 r     <- required: the div reads the full register
+//	q  = div.64 r, r
+//
+// After e1 is removed, e2's UD chain must point at the dirty add; if it kept
+// pointing at the removed e1 ("source already extended"), e2 would wrongly be
+// eliminated and the div would read dirty upper bits.
+func buildChained() (*ir.Func, *ir.Instr, *ir.Instr, *ir.Instr, *ir.Instr) {
+	b := ir.NewFunc("chained", ir.Param{W: ir.W32})
+	r := b.Fn.NewReg()
+	dirty := b.OpTo(ir.OpAdd, ir.W32, r, ir.Reg(0), ir.Reg(0))
+	e1 := b.Ext(ir.W32, r)
+	e2 := b.Ext(ir.W32, r)
+	q := b.Div(ir.W64, r, r)
+	div := b.Block().Instrs[len(b.Block().Instrs)-1]
+	b.Print(ir.W64, q)
+	b.Ret(ir.NoReg)
+	return b.Fn, dirty, e1, e2, div
+}
+
+func TestChainedSameRegExtRemoveFirst(t *testing.T) {
+	fn, dirty, e1, e2, div := buildChained()
+	info := cfg.Compute(fn)
+	c := Build(fn, info)
+	c.RemoveSameRegExt(e1)
+
+	// e2's source must now be fed by the dirty add — not by the removed e1.
+	defs := c.UD(e2, 0)
+	if len(defs) != 1 || defs[0].IsParam() || defs[0].Instr != dirty {
+		t.Fatalf("UD(e2) after removing e1: %v (want the dirty add)", defs)
+	}
+	for _, d := range defs {
+		if !d.IsParam() && d.Instr == e1 {
+			t.Fatalf("stale UD chain: e2 still fed by the removed e1")
+		}
+	}
+	// The dirty add's DU chain must reach e2 directly.
+	found := false
+	for _, u := range c.DU(dirty) {
+		if u.Instr == e2 {
+			found = true
+		}
+		if u.Instr == e1 {
+			t.Fatalf("stale DU chain: removed e1 still listed as a use of the add")
+		}
+	}
+	if !found {
+		t.Fatalf("DU(dirty add) not re-attached to e2: %v", c.DU(dirty))
+	}
+	// The removed extension's own entries must be gone and the whole
+	// structure internally consistent and equal to a fresh rebuild.
+	if got := c.DU(e1); len(got) != 0 {
+		t.Fatalf("removed e1 still has DU entries: %v", got)
+	}
+	if got := c.UD(e1, 0); len(got) != 0 {
+		t.Fatalf("removed e1 still has UD entries: %v", got)
+	}
+	if err := c.Check(); err != nil {
+		t.Fatalf("patched chains inconsistent: %v", err)
+	}
+	compareChains(t, fn, c, Build(fn, cfg.Compute(fn)))
+	_ = div
+}
+
+func TestChainedSameRegExtRemoveSecond(t *testing.T) {
+	fn, _, e1, e2, div := buildChained()
+	info := cfg.Compute(fn)
+	c := Build(fn, info)
+	c.RemoveSameRegExt(e2)
+
+	// The div's operands must now be fed by e1.
+	for op := 0; op < 2; op++ {
+		defs := c.UD(div, op)
+		if len(defs) != 1 || defs[0].IsParam() || defs[0].Instr != e1 {
+			t.Fatalf("UD(div, %d) after removing e2: %v (want e1)", op, defs)
+		}
+	}
+	if err := c.Check(); err != nil {
+		t.Fatalf("patched chains inconsistent: %v", err)
+	}
+	compareChains(t, fn, c, Build(fn, cfg.Compute(fn)))
+}
+
 // TestRemovalSequenceMatchesRebuild removes every same-register extension of
 // a richer function one at a time, comparing the patched chains against a
 // fresh rebuild after each removal — the invariant the elimination phase

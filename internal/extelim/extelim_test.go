@@ -149,6 +149,37 @@ func TestDUKeptWhenDemanded(t *testing.T) {
 	}
 }
 
+// TestChainedSameRegExtsKeepSecond: two chained same-register extensions
+// over a dirty definition. The first is removable (its only use, the second
+// extension, reads just the low word); the second must survive because the
+// div demands a clean full register. Deciding the second extension on stale
+// chains — still pointing at the first, removed extension, which looks like
+// an already-extended source — would wrongly eliminate it too and let the
+// div read dirty upper bits.
+func TestChainedSameRegExtsKeepSecond(t *testing.T) {
+	b := ir.NewFunc("chained", ir.Param{W: ir.W32})
+	r := b.Fn.NewReg()
+	b.OpTo(ir.OpAdd, ir.W32, r, ir.Reg(0), ir.Reg(0)) // dirty def
+	e1 := b.Ext(ir.W32, r)
+	e2 := b.Ext(ir.W32, r)
+	q := b.Div(ir.W64, r, r)
+	b.Print(ir.W64, q)
+	b.Ret(ir.NoReg)
+
+	st := Eliminate(b.Fn, Config{Machine: ir.IA64})
+	if st.Eliminated != 1 {
+		t.Fatalf("eliminated %d extensions, want exactly 1 (the redundant first):\n%s",
+			st.Eliminated, b.Fn.Format())
+	}
+	if e1.Blk != nil {
+		t.Fatalf("redundant first extension survived:\n%s", b.Fn.Format())
+	}
+	if e2.Blk == nil || e2.Op != ir.OpExt {
+		t.Fatalf("required second extension wrongly removed — the div now reads dirty upper bits:\n%s",
+			b.Fn.Format())
+	}
+}
+
 // TestNarrowWidthElimination: 8- and 16-bit extensions obey the same
 // algorithm ("8-bit and 16-bit sign extensions are also eliminated").
 func TestNarrowWidthElimination(t *testing.T) {

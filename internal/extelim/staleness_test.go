@@ -1,0 +1,110 @@
+package extelim
+
+import (
+	"testing"
+
+	"signext/internal/cfg"
+	"signext/internal/chains"
+	"signext/internal/ir"
+	"signext/internal/minijava"
+	"signext/internal/opt"
+	"signext/internal/vrange"
+	"signext/internal/workloads"
+)
+
+// paranoidRun mirrors eliminator.run but rebuilds the chains and value
+// ranges from scratch after every successful elimination, so any staleness
+// in the incremental chain patching (chains.RemoveSameRegExt and the
+// cross-register demotion path) shows up as an IR divergence against the
+// normal, incrementally-patched run.
+func paranoidRun(fn *ir.Func, c Config) Stats {
+	e := newEliminator(fn, c)
+	var st Stats
+	e.info = cfg.Compute(e.fn)
+	kinds := ir.Kinds(e.fn)
+
+	if e.cfg.Insert && e.info.HasLoop() {
+		if e.cfg.UsePDE {
+			st.Inserted += insertPDE(e.fn, e.info)
+		} else {
+			st.Inserted += insertSimple(e.fn, kinds, e.cfg.Machine)
+		}
+	}
+	if e.cfg.Insert || e.cfg.Array {
+		st.Dummies = insertDummies(e.fn, kinds)
+	}
+	if st.Inserted > 0 || st.Dummies > 0 {
+		e.info = cfg.Compute(e.fn)
+	}
+
+	rebuild := func() {
+		e.ch = chains.Build(e.fn, e.info)
+		e.vr = vrange.Compute(e.fn, e.ch, e.info, e.cfg.Machine, e.maxLen)
+		e.useFlags = nil
+		e.defFlags = nil
+		e.u32Flags = nil
+		e.arrFlags = nil
+	}
+	rebuild()
+
+	for _, b := range e.info.RPO {
+		exts := []*ir.Instr{}
+		for _, ins := range b.Instrs {
+			if ins.IsExt() {
+				exts = append(exts, ins)
+			}
+		}
+		for _, x := range exts {
+			if e.eliminateOneExtend(x) {
+				st.Eliminated++
+				rebuild()
+			}
+		}
+	}
+	removeDummies(e.fn)
+	st.Remaining = e.fn.CountOp(ir.OpExt)
+	return st
+}
+
+// TestIncrementalChainsMatchParanoidRebuild is the chain-patching audit for
+// the whole benchmark suite: the production eliminator (incremental chain
+// patching) and the paranoid variant (full rebuild after every removal) must
+// produce byte-identical IR under every configuration on both machines. A
+// stale DU or UD entry surviving a removal would make a later
+// eliminateOneExtend decide differently and diverge here.
+func TestIncrementalChainsMatchParanoidRebuild(t *testing.T) {
+	configs := []Config{
+		{},
+		{Insert: true},
+		{Array: true},
+		{Insert: true, Array: true},
+		{Insert: true, Array: true, UsePDE: true},
+	}
+	for _, w := range workloads.All() {
+		cu, err := minijava.Compile(w.Source)
+		if err != nil {
+			t.Fatalf("%s: %v", w.Name, err)
+		}
+		for ci, c0 := range configs {
+			for _, mach := range []ir.Machine{ir.IA64, ir.PPC64} {
+				c := c0
+				c.Machine = mach
+				for _, fn := range cu.Prog.Funcs {
+					a := fn.Clone()
+					b := fn.Clone()
+					Convert64(a, mach)
+					Convert64(b, mach)
+					opt.Run(a)
+					opt.Run(b)
+					sa := Eliminate(a, c)
+					sb := paranoidRun(b, c)
+					if a.Format() != b.Format() {
+						t.Errorf("%s/%s cfg%d mach%v: incremental vs paranoid IR differ\nincremental (elim %d):\n%s\nparanoid (elim %d):\n%s",
+							w.Name, fn.Name, ci, mach, sa.Eliminated, a.Format(), sb.Eliminated, b.Format())
+						return
+					}
+				}
+			}
+		}
+	}
+}

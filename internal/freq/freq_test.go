@@ -93,6 +93,69 @@ func TestProfileRefinesEstimate(t *testing.T) {
 	}
 }
 
+// TestProfileEdgeMappingMatchesInterpreter pins the taken/fall-through edge
+// convention between the interpreter's profile and the frequency estimate:
+// Profile.Counts' taken count is the number of times control went to
+// Succs[0] and fall the number of times it went to Succs[1]. A swap would
+// silently invert hot-first ordering. The test traces actual block entries
+// and checks them against both the raw counts and the resulting estimate.
+func TestProfileEdgeMappingMatchesInterpreter(t *testing.T) {
+	fn, hot, cold, _, condBr := buildIfInLoop()
+	// In buildIfInLoop the branch's Succs[0] (taken, i&15 == 0) is the cold
+	// arm and Succs[1] (fall) the hot arm; each arm has the branch block as
+	// its only predecessor, so traced entries count the edges exactly.
+	if condBr.Blk.Succs[0] != cold || condBr.Blk.Succs[1] != hot {
+		t.Fatal("test premise broken: successor arms moved")
+	}
+	prog := ir.NewProgram()
+	prog.AddFunc(fn)
+	mb := ir.NewFunc("main")
+	mb.CallV("f", mb.Const(ir.W32, 64))
+	mb.Ret(ir.NoReg)
+	prog.AddFunc(mb.Fn)
+
+	entries := map[*ir.Block]int64{}
+	res, err := interp.Run(prog, "main", interp.Options{
+		Mode: interp.Mode32, Profile: true,
+		Trace: func(fname string, blk *ir.Block, ins *ir.Instr) {
+			if fname == "f" && len(blk.Instrs) > 0 && ins == blk.Instrs[0] {
+				entries[blk]++
+			}
+		},
+		TraceLimit: 1 << 20,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	taken, fall := res.Profile.Counts("f", condBr.ID)
+	if taken+fall != entries[cold]+entries[hot] {
+		t.Fatalf("branch executed %d times but profile counted %d",
+			entries[cold]+entries[hot], taken+fall)
+	}
+	if taken != entries[cold] || fall != entries[hot] {
+		t.Fatalf("edge mapping swapped: profile (taken=%d fall=%d), traced (Succs[0]=%d Succs[1]=%d)",
+			taken, fall, entries[cold], entries[hot])
+	}
+	if taken == 0 || fall == 0 || fall <= taken {
+		t.Fatalf("expected a skewed, two-sided split: taken=%d fall=%d", taken, fall)
+	}
+
+	// The estimate must agree with observed reality: the fall arm ran ~15x
+	// more often, so it must also be estimated hotter.
+	info := cfg.Compute(fn)
+	e := Compute(fn, info, res.Profile)
+	if e.Freq[hot] <= e.Freq[cold] {
+		t.Fatalf("estimate disagrees with traced execution: hot=%g cold=%g",
+			e.Freq[hot], e.Freq[cold])
+	}
+	ratioTraced := float64(entries[hot]) / float64(entries[cold])
+	ratioEst := e.Freq[hot] / e.Freq[cold]
+	if ratioEst < 0.5*ratioTraced || ratioEst > 2*ratioTraced {
+		t.Fatalf("estimated arm ratio %g far from traced ratio %g", ratioEst, ratioTraced)
+	}
+}
+
 func TestHotFirstDeterministic(t *testing.T) {
 	fn, _, _, _, _ := buildIfInLoop()
 	info := cfg.Compute(fn)

@@ -10,10 +10,18 @@
 // panicking or (under Options.Checked) verifier-rejected phase disables
 // itself for that function only and compilation still succeeds with the
 // correct Convert64-only code. See internal/guard.
+//
+// Per-function pipelines are independent, so Compile fans them out over a
+// worker pool (Options.Parallelism). The result is bit-identical to a
+// sequential compile: workers only touch their own function, and the driver
+// merges statistics, telemetry and fallbacks in a deterministic order.
 package jit
 
 import (
 	"fmt"
+	"runtime"
+	"sort"
+	"sync"
 	"time"
 
 	"signext/internal/extelim"
@@ -95,6 +103,14 @@ type Options struct {
 	Profile     interp.Profile // branch profile for order determination
 	Verify      bool           // run the shallow IR verifier after each phase
 
+	// Parallelism is the number of worker goroutines the per-function phase
+	// pipelines fan out over. 0 selects runtime.GOMAXPROCS(0); 1 compiles
+	// strictly sequentially on the calling goroutine. Whole-program inlining
+	// always runs sequentially first. The compiled program, statistics,
+	// telemetry and fallback records are identical for every setting — only
+	// wall-clock time changes.
+	Parallelism int
+
 	// Checked runs the deep guard verifier (CFG consistency, def-before-use,
 	// extension widths, chain cross-consistency) at every phase boundary. A
 	// function failing verification is restored to its pre-phase snapshot —
@@ -111,19 +127,71 @@ type Options struct {
 	// body runs, with the function about to be transformed (nil for the
 	// whole-program inlining phase). Tests use it to force deterministic
 	// phase failures; a panicking hook behaves exactly like a panicking
-	// phase.
+	// phase. With Parallelism above 1 the hook is called concurrently from
+	// worker goroutines and must be safe for that.
 	PhaseHook func(phase string, fn *ir.Func)
 }
 
-// Timing is the compilation-time breakdown of the paper's Table 3.
-type Timing struct {
-	SignExt time.Duration // sign extension optimizations (all)
-	Chains  time.Duration // shared analyses: UD/DU chains + value ranges
-	Others  time.Duration // everything else (conversion, general opts, ...)
+// parallelism resolves the worker count for a program with n functions.
+func (o Options) parallelism(n int) int {
+	p := o.Parallelism
+	if p <= 0 {
+		p = runtime.GOMAXPROCS(0)
+	}
+	if p > n {
+		p = n
+	}
+	if p < 1 {
+		p = 1
+	}
+	return p
 }
 
-// Total returns the full compilation time.
+// Timing is the compilation-time breakdown of the paper's Table 3. The three
+// buckets are a disjoint partition of the compile work: every telemetry
+// record lands in exactly one bucket, so SignExt + Chains + Others == the sum
+// over Result.Telemetry — regression-tested, not merely intended.
+type Timing struct {
+	SignExt time.Duration // sign extension optimizations proper (chain building excluded)
+	Chains  time.Duration // shared analyses: UD/DU chains + value ranges
+	Others  time.Duration // everything else (inlining, conversion, general opts, verification)
+
+	// Wall is the end-to-end wall-clock time of Compile. With one worker it
+	// tracks Total(); with several it is smaller — Total() sums the per-phase
+	// work across all workers, which is what Table 3 reports.
+	Wall time.Duration
+}
+
+// Total returns the full compilation work time (summed across workers).
 func (t Timing) Total() time.Duration { return t.SignExt + t.Chains + t.Others }
+
+// Telemetry phase names, in pipeline order.
+const (
+	PhaseInlining = "inlining"
+	PhaseConvert  = "convert64"
+	PhaseOpts     = "general opts"
+	PhaseGenUse   = "gen-use conversion"
+	PhaseSignExt  = "signext"
+	PhaseChains   = "chains"
+	PhaseVerify   = "verify"
+	ProgramScope  = "<program>" // Func value for whole-program records
+)
+
+// PhaseRecord is one compile-telemetry sample: the wall time one phase spent
+// on one function, plus that phase's counters. Records for the whole-program
+// inlining phase carry Func == ProgramScope. The "chains" record splits the
+// UD/DU chain + value range construction out of the enclosing "signext"
+// phase, so summing all records of a function gives its total compile time
+// with no double counting.
+type PhaseRecord struct {
+	Func       string        `json:"func"`
+	Phase      string        `json:"phase"`
+	Wall       time.Duration `json:"wall_ns"`
+	Eliminated int           `json:"eliminated,omitempty"`
+	Inserted   int           `json:"inserted,omitempty"`
+	Dummies    int           `json:"dummies,omitempty"`
+	Fallback   bool          `json:"fallback,omitempty"` // phase failed; snapshot restored
+}
 
 // Result is a compiled program plus its statistics.
 type Result struct {
@@ -133,11 +201,221 @@ type Result struct {
 	Timing     Timing
 	StaticExts int // extension instructions surviving in the code
 
+	// Telemetry holds one record per (function, phase) the pipeline ran,
+	// sorted by function name (ProgramScope first), then pipeline order.
+	// Timing is derived from it: each record belongs to exactly one
+	// SignExt/Chains/Others bucket.
+	Telemetry []PhaseRecord
+
 	// Fallbacks records every phase that panicked, failed verification, or
-	// exhausted its work budget and was therefore disabled for one function.
-	// The compiled code is still correct: the affected function runs its
-	// pre-phase (at worst Convert64-only) code.
+	// exhausted its work budget and was therefore disabled for one function,
+	// sorted like Telemetry. The compiled code is still correct: the affected
+	// function runs its pre-phase (at worst Convert64-only) code.
 	Fallbacks []*guard.PhaseError
+}
+
+// funcOutcome is everything one per-function pipeline produces. Workers fill
+// these in independently; the driver merges them in function order so the
+// result is identical regardless of scheduling.
+type funcOutcome struct {
+	stats      extelim.Stats
+	records    []PhaseRecord
+	fallbacks  []*guard.PhaseError
+	replace    *ir.Func // restored snapshot to install into Prog (fallback), nil if untouched
+	fatal      error    // conversion or shallow-verifier failure: abort compile
+	staticExts int
+}
+
+// compileFunc runs the per-function pipeline — conversion, general
+// optimizations, and the sign extension phase, each guarded — on fn. It
+// mutates fn (or, after a fallback, a restored clone) and never touches any
+// other function or the enclosing program, so it is safe to run one
+// compileFunc per function concurrently.
+func compileFunc(fn *ir.Func, o Options) funcOutcome {
+	var out funcOutcome
+	cur := fn // current version of the function; a fallback swaps in the snapshot
+
+	record := func(r PhaseRecord) { out.records = append(out.records, r) }
+
+	var verifyWall time.Duration
+	verify := func(after string) bool {
+		if !o.Verify {
+			return true
+		}
+		t0 := time.Now()
+		err := cur.Verify()
+		verifyWall += time.Since(t0)
+		if err != nil {
+			out.fatal = fmt.Errorf("after %s: %w", after, err)
+			return false
+		}
+		return true
+	}
+
+	// guarded runs one phase body under recover, with a pre-phase snapshot.
+	// On panic, on body error (budget exhaustion), or on deep-verifier
+	// rejection under Checked, the snapshot becomes the current function —
+	// the phase is disabled for this function only — and the failure is
+	// recorded. Reports whether the phase's effects were kept.
+	guarded := func(phase string, body func(f *ir.Func) error) bool {
+		f := cur
+		snap := f.Clone()
+		perr := guard.RunPhase(phase, f.Name, o.Variant.String(), "", func() error {
+			if o.PhaseHook != nil {
+				o.PhaseHook(phase, f)
+			}
+			if err := body(f); err != nil {
+				return err
+			}
+			if o.Checked {
+				return guard.VerifyFunc(f, o.Machine)
+			}
+			return nil
+		})
+		if perr == nil {
+			return true
+		}
+		perr.Snapshot = guard.Snapshot(f)
+		cur = snap
+		out.replace = snap
+		out.fallbacks = append(out.fallbacks, perr)
+		return false
+	}
+
+	// mustConvert runs a conversion body. Conversion is the correctness
+	// floor, so there is nothing to fall back to: a failure here is a hard,
+	// structured compile error.
+	mustConvert := func(phase string, body func(f *ir.Func)) bool {
+		f := cur
+		perr := guard.RunPhase(phase, f.Name, o.Variant.String(), "", func() error {
+			if o.PhaseHook != nil {
+				o.PhaseHook(phase, f)
+			}
+			body(f)
+			if o.Checked {
+				return guard.VerifyFunc(f, o.Machine)
+			}
+			return nil
+		})
+		if perr != nil {
+			perr.Snapshot = guard.Snapshot(f)
+			out.fatal = perr
+			return false
+		}
+		return true
+	}
+
+	// Step (1): conversion for a 64-bit architecture. The "gen use"
+	// reference generates at the code generation phase instead, i.e. after
+	// the general optimizations.
+	if o.Variant != GenUse {
+		t0 := time.Now()
+		ok := mustConvert(PhaseConvert, func(f *ir.Func) {
+			extelim.Convert64(f, o.Machine)
+		})
+		record(PhaseRecord{Func: fn.Name, Phase: PhaseConvert, Wall: time.Since(t0)})
+		if !ok {
+			return out
+		}
+	}
+	if !verify("conversion") {
+		return out
+	}
+
+	// Step (2): general optimizations.
+	if o.GeneralOpts {
+		t0 := time.Now()
+		kept := guarded(PhaseOpts, func(f *ir.Func) error {
+			opt.Run(f)
+			return nil
+		})
+		record(PhaseRecord{Func: fn.Name, Phase: PhaseOpts, Wall: time.Since(t0), Fallback: !kept})
+		if !verify("general optimizations") {
+			return out
+		}
+	}
+	if o.Variant == GenUse {
+		t0 := time.Now()
+		ok := mustConvert(PhaseGenUse, func(f *ir.Func) {
+			extelim.ConvertGenUse(f, o.Machine)
+		})
+		record(PhaseRecord{Func: fn.Name, Phase: PhaseGenUse, Wall: time.Since(t0)})
+		if !ok {
+			return out
+		}
+		if !verify("gen-use conversion") {
+			return out
+		}
+	}
+
+	// Step (3): the sign extension phase. This is the phase the guardrails
+	// exist for: any failure falls back to the Convert64-only code above.
+	switch o.Variant {
+	case Baseline, GenUse:
+		// disabled
+	case FirstAlgorithm:
+		t0 := time.Now()
+		var n int
+		kept := guarded(PhaseSignExt, func(f *ir.Func) error {
+			n = extelim.FirstAlgorithm(f)
+			return nil
+		})
+		if kept {
+			out.stats.Eliminated += n
+		}
+		record(PhaseRecord{
+			Func: fn.Name, Phase: PhaseSignExt, Wall: time.Since(t0),
+			Eliminated: n, Fallback: !kept,
+		})
+	default:
+		_, c := o.Variant.config()
+		c.Machine = o.Machine
+		c.MaxArrayLen = o.MaxArrayLen
+		c.Profile = o.Profile
+		c.MaxWork = o.ElimBudget
+		t0 := time.Now()
+		var st extelim.Stats
+		kept := guarded(PhaseSignExt, func(f *ir.Func) error {
+			st = extelim.Eliminate(f, c)
+			if st.BudgetExhausted {
+				return fmt.Errorf("guard: elimination work budget of %d exhausted", o.ElimBudget)
+			}
+			return nil
+		})
+		wall := time.Since(t0)
+		if kept {
+			out.stats.Inserted += st.Inserted
+			out.stats.Dummies += st.Dummies
+			out.stats.Eliminated += st.Eliminated
+		}
+		// The eliminator times its chain + value-range construction
+		// (extelim.Stats.ChainTime); split that out as its own record so the
+		// "signext" record holds only the elimination work proper and the
+		// partition stays disjoint. A panicking phase loses its measurement
+		// (st is zero) — its whole wall lands in "signext", still counted
+		// exactly once.
+		chain := st.ChainTime
+		if chain > wall {
+			chain = wall
+		}
+		record(PhaseRecord{
+			Func: fn.Name, Phase: PhaseSignExt, Wall: wall - chain,
+			Eliminated: st.Eliminated, Inserted: st.Inserted, Dummies: st.Dummies,
+			Fallback: !kept,
+		})
+		if chain > 0 {
+			record(PhaseRecord{Func: fn.Name, Phase: PhaseChains, Wall: chain})
+		}
+	}
+	if !verify("sign extension phase") {
+		return out
+	}
+
+	if verifyWall > 0 {
+		record(PhaseRecord{Func: fn.Name, Phase: PhaseVerify, Wall: verifyWall})
+	}
+	out.staticExts = cur.CountOp(ir.OpExt)
+	return out
 }
 
 // Compile clones src and compiles it under the given options. src itself is
@@ -149,79 +427,24 @@ type Result struct {
 // Result.Fallbacks. Conversion failures have no correct fallback — without
 // the generated extensions the 64-bit machine would read dirty upper bits —
 // so they abort compilation with a structured *guard.PhaseError.
+//
+// Per-function pipelines run on Options.Parallelism workers; the merged
+// result is identical for every worker count.
 func Compile(src *ir.Program, o Options) (*Result, error) {
+	start := time.Now()
 	prog := src.Clone()
 	res := &Result{Prog: prog, Options: o}
-
-	check := func(phase string) error {
-		if !o.Verify {
-			return nil
-		}
-		for _, fn := range prog.Funcs {
-			if err := fn.Verify(); err != nil {
-				return fmt.Errorf("after %s: %w", phase, err)
-			}
-		}
-		return nil
-	}
-
-	// guarded runs one per-function phase body under recover, with a
-	// pre-phase snapshot. On panic, on body error (budget exhaustion), or on
-	// deep-verifier rejection under Checked, the snapshot is restored — the
-	// phase is disabled for that function only — and the failure recorded.
-	// Reports whether the phase's effects were kept.
-	guarded := func(phase string, fn *ir.Func, body func() error) bool {
-		snap := fn.Clone()
-		perr := guard.RunPhase(phase, fn.Name, o.Variant.String(), "", func() error {
-			if o.PhaseHook != nil {
-				o.PhaseHook(phase, fn)
-			}
-			if err := body(); err != nil {
-				return err
-			}
-			if o.Checked {
-				return guard.VerifyFunc(fn, o.Machine)
-			}
-			return nil
-		})
-		if perr == nil {
-			return true
-		}
-		perr.Snapshot = guard.Snapshot(fn)
-		prog.ReplaceFunc(snap)
-		res.Fallbacks = append(res.Fallbacks, perr)
-		return false
-	}
-
-	// mustConvert runs a conversion body for one function. Conversion is the
-	// correctness floor, so there is nothing to fall back to: a failure here
-	// is a hard, structured compile error.
-	mustConvert := func(phase string, fn *ir.Func, body func()) *guard.PhaseError {
-		perr := guard.RunPhase(phase, fn.Name, o.Variant.String(), "", func() error {
-			if o.PhaseHook != nil {
-				o.PhaseHook(phase, fn)
-			}
-			body()
-			if o.Checked {
-				return guard.VerifyFunc(fn, o.Machine)
-			}
-			return nil
-		})
-		if perr != nil {
-			perr.Snapshot = guard.Snapshot(fn)
-		}
-		return perr
-	}
 
 	// Method inlining runs first, on the 32-bit form, like the paper's
 	// intermediate-language inliner [10, 19]: it removes call boundaries so
 	// argument/result extensions become visible to the later phases. It is
-	// all-or-nothing: a failure restarts from a fresh clone without it.
-	t0 := time.Now()
+	// all-or-nothing: a failure restarts from a fresh clone without it. It
+	// is also the one whole-program phase, so it stays sequential.
 	if o.GeneralOpts {
-		perr := guard.RunPhase("inlining", "<program>", o.Variant.String(), "", func() error {
+		t0 := time.Now()
+		perr := guard.RunPhase(PhaseInlining, ProgramScope, o.Variant.String(), "", func() error {
 			if o.PhaseHook != nil {
-				o.PhaseHook("inlining", nil)
+				o.PhaseHook(PhaseInlining, nil)
 			}
 			opt.InlineProgram(prog)
 			if o.Checked {
@@ -234,105 +457,96 @@ func Compile(src *ir.Program, o Options) (*Result, error) {
 			res.Prog = prog
 			res.Fallbacks = append(res.Fallbacks, perr)
 		}
-		if err := check("inlining"); err != nil {
-			return nil, err
-		}
-	}
-
-	// Step (1): conversion for a 64-bit architecture. The "gen use"
-	// reference generates at the code generation phase instead, i.e. after
-	// the general optimizations.
-	if o.Variant != GenUse {
-		for _, fn := range prog.Funcs {
-			if perr := mustConvert("convert64", fn, func() {
-				extelim.Convert64(fn, o.Machine)
-			}); perr != nil {
-				return nil, perr
-			}
-		}
-	}
-	if err := check("conversion"); err != nil {
-		return nil, err
-	}
-
-	// Step (2): general optimizations.
-	if o.GeneralOpts {
-		for _, fn := range prog.Funcs {
-			f := fn
-			guarded("general opts", f, func() error {
-				opt.Run(f)
-				return nil
-			})
-		}
-		if err := check("general optimizations"); err != nil {
-			return nil, err
-		}
-	}
-	if o.Variant == GenUse {
-		for _, fn := range prog.Funcs {
-			if perr := mustConvert("gen-use conversion", fn, func() {
-				extelim.ConvertGenUse(fn, o.Machine)
-			}); perr != nil {
-				return nil, perr
-			}
-		}
-		if err := check("gen-use conversion"); err != nil {
-			return nil, err
-		}
-	}
-	res.Timing.Others = time.Since(t0)
-
-	// Step (3): the sign extension phase. This is the phase the guardrails
-	// exist for: any failure falls back to the Convert64-only code above.
-	t1 := time.Now()
-	switch o.Variant {
-	case Baseline, GenUse:
-		// disabled
-	case FirstAlgorithm:
-		for _, fn := range prog.Funcs {
-			f := fn
-			var n int
-			if guarded("signext", f, func() error {
-				n = extelim.FirstAlgorithm(f)
-				return nil
-			}) {
-				res.Stats.Eliminated += n
-			}
-		}
-	default:
-		_, c := o.Variant.config()
-		c.Machine = o.Machine
-		c.MaxArrayLen = o.MaxArrayLen
-		c.Profile = o.Profile
-		c.MaxWork = o.ElimBudget
-		var chains time.Duration
-		for _, fn := range prog.Funcs {
-			f := fn
-			var st extelim.Stats
-			if guarded("signext", f, func() error {
-				st = extelim.Eliminate(f, c)
-				if st.BudgetExhausted {
-					return fmt.Errorf("guard: elimination work budget of %d exhausted", o.ElimBudget)
+		res.Telemetry = append(res.Telemetry, PhaseRecord{
+			Func: ProgramScope, Phase: PhaseInlining, Wall: time.Since(t0), Fallback: perr != nil,
+		})
+		if o.Verify {
+			tv := time.Now()
+			var verr error
+			for _, fn := range prog.Funcs {
+				if err := fn.Verify(); err != nil {
+					verr = fmt.Errorf("after inlining: %w", err)
+					break
 				}
-				return nil
-			}) {
-				res.Stats.Inserted += st.Inserted
-				res.Stats.Dummies += st.Dummies
-				res.Stats.Eliminated += st.Eliminated
-				chains += st.ChainTime
+			}
+			res.Telemetry = append(res.Telemetry, PhaseRecord{
+				Func: ProgramScope, Phase: PhaseVerify, Wall: time.Since(tv),
+			})
+			if verr != nil {
+				return nil, verr
 			}
 		}
-		res.Timing.Chains = chains
-	}
-	res.Timing.SignExt = time.Since(t1) - res.Timing.Chains
-	if err := check("sign extension phase"); err != nil {
-		return nil, err
 	}
 
-	for _, fn := range prog.Funcs {
-		res.StaticExts += fn.CountOp(ir.OpExt)
+	// Fan the per-function pipelines out. Workers write only their own slot
+	// and their own function; the program (shared Funcs slice + name index)
+	// is mutated exclusively by the merge loop below, after the join.
+	outs := make([]funcOutcome, len(prog.Funcs))
+	if par := o.parallelism(len(prog.Funcs)); par <= 1 {
+		for i, fn := range prog.Funcs {
+			outs[i] = compileFunc(fn, o)
+		}
+	} else {
+		jobs := make(chan int)
+		var wg sync.WaitGroup
+		for w := 0; w < par; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := range jobs {
+					outs[i] = compileFunc(prog.Funcs[i], o)
+				}
+			}()
+		}
+		for i := range outs {
+			jobs <- i
+		}
+		close(jobs)
+		wg.Wait()
+	}
+
+	// Deterministic merge, in function order. A fatal outcome (conversion
+	// failure or shallow-verifier rejection) aborts with the lowest-index
+	// function's error — the same one a sequential compile hits first.
+	for i := range outs {
+		if err := outs[i].fatal; err != nil {
+			return nil, err
+		}
+	}
+	for i := range outs {
+		out := &outs[i]
+		if out.replace != nil {
+			prog.ReplaceFunc(out.replace)
+		}
+		res.Stats.Inserted += out.stats.Inserted
+		res.Stats.Dummies += out.stats.Dummies
+		res.Stats.Eliminated += out.stats.Eliminated
+		res.Telemetry = append(res.Telemetry, out.records...)
+		res.Fallbacks = append(res.Fallbacks, out.fallbacks...)
+		res.StaticExts += out.staticExts
 	}
 	res.Stats.Remaining = res.StaticExts
+
+	// Sort by function name (ProgramScope sorts first; per-function phase
+	// order is preserved by stability), derive the Timing partition from the
+	// records, and stamp the end-to-end wall clock.
+	sort.SliceStable(res.Telemetry, func(i, j int) bool {
+		return res.Telemetry[i].Func < res.Telemetry[j].Func
+	})
+	sort.SliceStable(res.Fallbacks, func(i, j int) bool {
+		return res.Fallbacks[i].Func < res.Fallbacks[j].Func
+	})
+	for _, r := range res.Telemetry {
+		switch r.Phase {
+		case PhaseSignExt:
+			res.Timing.SignExt += r.Wall
+		case PhaseChains:
+			res.Timing.Chains += r.Wall
+		default:
+			res.Timing.Others += r.Wall
+		}
+	}
+	res.Timing.Wall = time.Since(start)
 	return res, nil
 }
 

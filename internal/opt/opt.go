@@ -320,16 +320,25 @@ func licm(fn *ir.Func) int {
 		if pre == nil {
 			continue
 		}
-		// Count in-loop definitions per register.
+		// Count in-loop definitions per register. Loop membership is a set;
+		// iterate the RPO so hoisted instructions land in the preheader in a
+		// deterministic order (map-range order varies between runs and would
+		// make two compiles of the same input print different IR).
 		defsInLoop := map[ir.Reg]int{}
-		for b := range l.Blocks {
+		for _, b := range info.RPO {
+			if !l.Blocks[b] {
+				continue
+			}
 			for _, ins := range b.Instrs {
 				if ins.HasDst() {
 					defsInLoop[ins.Dst]++
 				}
 			}
 		}
-		for b := range l.Blocks {
+		for _, b := range info.RPO {
+			if !l.Blocks[b] {
+				continue
+			}
 			var hoist []*ir.Instr
 			for _, ins := range b.Instrs {
 				if !ins.Pure() || !ins.HasDst() || len(ins.Args) > 0 {

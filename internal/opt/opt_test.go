@@ -164,6 +164,45 @@ func TestCopyPropPreservesExtSources(t *testing.T) {
 	}
 }
 
+// TestLICMDeterministic pins that two optimizations of the same input print
+// identical IR. licm used to iterate loop-block sets in map-range order, so
+// invariant instructions from different blocks of one loop were hoisted into
+// the preheader in an order that varied between runs — which broke the
+// bit-identical guarantee the parallel compile driver relies on.
+func TestLICMDeterministic(t *testing.T) {
+	// A loop whose body spans several blocks, each defining hoistable
+	// invariant constants, so hoist order is observable in the preheader.
+	src := `void main() {
+		int s = 0;
+		for (int i = 0; i < 40; i++) {
+			if (i % 2 == 0) { s += 1001; } else { s -= 2002; }
+			if (i % 3 == 0) { s += 3003; } else { s -= 4004; }
+			s += 5005;
+		}
+		print(s);
+	}`
+	var want string
+	for trial := 0; trial < 10; trial++ {
+		cu, err := minijava.Compile(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var got string
+		for _, fn := range cu.Prog.Funcs {
+			st := Run(fn)
+			if trial == 0 && fn.Name == "main" && st.Hoisted == 0 {
+				t.Fatalf("expected licm to hoist something: %+v", st)
+			}
+			got += fn.Format()
+		}
+		if trial == 0 {
+			want = got
+		} else if got != want {
+			t.Fatalf("optimization of identical input diverged on trial %d:\n--- first ---\n%s\n--- now ---\n%s", trial, want, got)
+		}
+	}
+}
+
 // TestGeneralOptsPreserveSemantics runs the optimizer over every MiniJava
 // snippet and compares reference outputs before and after — on both the
 // 32-bit form and the converted 64-bit form.

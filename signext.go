@@ -64,6 +64,11 @@ type Options struct {
 	NoGeneral   bool  // disable the Figure 5 step (2) general optimizations
 	WithProfile bool  // run the interpreter tier first for branch profiles
 
+	// Parallelism sets the number of worker goroutines compiling functions
+	// concurrently: 0 uses every CPU, 1 compiles sequentially. The compiled
+	// program and all statistics are identical for every setting.
+	Parallelism int
+
 	// Checked runs the deep IR verifier at every phase boundary; a failing
 	// function reverts to its pre-phase code (see Result.Fallbacks) instead
 	// of aborting compilation.
@@ -117,6 +122,14 @@ func (r *Result) Fallbacks() []Fallback {
 	}
 	return fbs
 }
+
+// PhaseRecord is one compile-telemetry sample: wall time and counters for
+// one phase of one function's compilation.
+type PhaseRecord = jit.PhaseRecord
+
+// Telemetry returns the per-function, per-phase compile-time records, sorted
+// by function name. Their walls sum to exactly the compile work time.
+func (r *Result) Telemetry() []PhaseRecord { return r.res.Telemetry }
 
 // Check runs the differential oracle against the Baseline-variant reference:
 // identical output and traps, non-increasing dynamic extension count. It
@@ -204,6 +217,7 @@ func CompileProgram(prog *ir.Program, o Options) (*Result, error) {
 		MaxArrayLen: o.MaxArrayLen,
 		GeneralOpts: !o.NoGeneral,
 		Profile:     profile,
+		Parallelism: o.Parallelism,
 		Checked:     o.Checked || o.CheckedRun,
 		ElimBudget:  o.ElimBudget,
 	})
