@@ -29,6 +29,13 @@ import (
 )
 
 func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is the testable entry point; it returns the process exit code.
+func run(args []string, stdout, stderr io.Writer) int {
+	flag := flag.NewFlagSet("benchtab", flag.ContinueOnError)
+	flag.SetOutput(stderr)
 	table := flag.Int("table", 0, "regenerate table 1, 2 or 3")
 	figure := flag.Int("figure", 0, "regenerate figure 11, 12, 13 or 14")
 	all := flag.Bool("all", false, "regenerate every table and figure")
@@ -39,78 +46,83 @@ func main() {
 	compilebench := flag.Bool("compilebench", false, "run the compile-driver benchmark and emit the BENCH_compile.json artifact")
 	repeats := flag.Int("repeats", 3, "compile-benchmark timing repeats (minimum wall kept)")
 	validate := flag.String("validate", "", "validate an existing BENCH_compile.json artifact and exit")
-	flag.Parse()
+	if err := flag.Parse(args); err != nil {
+		return 2
+	}
+	if flag.NArg() > 0 {
+		fmt.Fprintln(stderr, "benchtab: unexpected arguments:", flag.Args())
+		return 2
+	}
 
 	mach := ir.IA64
 	if *machine == "ppc64" {
 		mach = ir.PPC64
 	} else if *machine != "ia64" {
-		fmt.Fprintln(os.Stderr, "benchtab: unknown machine", *machine)
-		os.Exit(2)
+		fmt.Fprintln(stderr, "benchtab: unknown machine", *machine)
+		return 2
 	}
 
 	if *validate != "" {
 		data, err := os.ReadFile(*validate)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "benchtab:", err)
-			os.Exit(1)
+			fmt.Fprintln(stderr, "benchtab:", err)
+			return 1
 		}
 		r, err := bench.ValidateCompileBenchJSON(data)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "benchtab:", err)
-			os.Exit(1)
+			fmt.Fprintln(stderr, "benchtab:", err)
+			return 1
 		}
-		fmt.Printf("benchtab: %s OK: %d workloads, %s/%s, parallelism %d on %d CPUs, speedup %.2fx\n",
+		fmt.Fprintf(stdout, "benchtab: %s OK: %d workloads, %s/%s, parallelism %d on %d CPUs, speedup %.2fx\n",
 			*validate, len(r.Workloads), r.Suite, r.Machine, r.Parallelism, r.NumCPU, r.Speedup)
-		return
+		return 0
 	}
 
 	// Output sink: stdout by default, -o path otherwise.
-	var w io.Writer = os.Stdout
+	w := stdout
 	if *out != "" {
 		f, err := os.Create(*out)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "benchtab:", err)
-			os.Exit(1)
+			fmt.Fprintln(stderr, "benchtab:", err)
+			return 1
 		}
 		defer func() {
 			if err := f.Close(); err != nil {
-				fmt.Fprintln(os.Stderr, "benchtab:", err)
-				os.Exit(1)
+				fmt.Fprintln(stderr, "benchtab:", err)
 			}
 		}()
 		w = f
 	}
 
 	if *compilebench {
-		fmt.Fprintf(os.Stderr, "benchtab: compile benchmark (%d workloads, %d repeats)...\n",
+		fmt.Fprintf(stderr, "benchtab: compile benchmark (%d workloads, %d repeats)...\n",
 			len(workloads.All()), *repeats)
 		r, err := bench.CompileBench(workloads.All(), bench.CompileBenchOptions{
 			Machine: mach, UseProfile: !*noprofile,
 			Parallelism: *parallel, Repeats: *repeats,
 		})
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "benchtab:", err)
-			os.Exit(1)
+			fmt.Fprintln(stderr, "benchtab:", err)
+			return 1
 		}
 		if err := r.Validate(); err != nil {
-			fmt.Fprintln(os.Stderr, "benchtab:", err)
-			os.Exit(1)
+			fmt.Fprintln(stderr, "benchtab:", err)
+			return 1
 		}
 		enc := json.NewEncoder(w)
 		enc.SetIndent("", "  ")
 		if err := enc.Encode(r); err != nil {
-			fmt.Fprintln(os.Stderr, "benchtab:", err)
-			os.Exit(1)
+			fmt.Fprintln(stderr, "benchtab:", err)
+			return 1
 		}
-		fmt.Fprintf(os.Stderr, "benchtab: compile speedup %.2fx at parallelism %d (%d CPUs)\n",
+		fmt.Fprintf(stderr, "benchtab: compile speedup %.2fx at parallelism %d (%d CPUs)\n",
 			r.Speedup, r.Parallelism, r.NumCPU)
-		return
+		return 0
 	}
 
 	if !*all && *table == 0 && *figure == 0 {
 		flag.Usage()
-		os.Exit(2)
+		return 2
 	}
 
 	opts := bench.Options{Machine: mach, UseProfile: !*noprofile, Parallelism: *parallel}
@@ -118,25 +130,30 @@ func main() {
 	needJB := *all || *table == 1 || *table == 3 || *figure == 11 || *figure == 13
 	needSpec := *all || *table == 2 || *table == 3 || *figure == 12 || *figure == 14
 
-	run := func(ws []workloads.Workload, label string) *bench.SuiteResult {
-		fmt.Fprintf(os.Stderr, "benchtab: running %s (%d workloads x %d variants)...\n",
+	suite := func(ws []workloads.Workload, label string) (*bench.SuiteResult, error) {
+		fmt.Fprintf(stderr, "benchtab: running %s (%d workloads x %d variants)...\n",
 			label, len(ws), 12)
 		r, err := bench.RunSuite(ws, opts)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "benchtab:", err)
-			os.Exit(1)
+			return nil, err
 		}
 		if len(r.Mismatch) > 0 {
-			fmt.Fprintln(os.Stderr, "benchtab: OUTPUT MISMATCH (miscompile):", r.Mismatch)
-			os.Exit(1)
+			return nil, fmt.Errorf("OUTPUT MISMATCH (miscompile): %v", r.Mismatch)
 		}
-		return r
+		return r, nil
 	}
+	var err error
 	if needJB {
-		jb = run(workloads.JBYTEmark(), "jBYTEmark")
+		if jb, err = suite(workloads.JBYTEmark(), "jBYTEmark"); err != nil {
+			fmt.Fprintln(stderr, "benchtab:", err)
+			return 1
+		}
 	}
 	if needSpec {
-		spec = run(workloads.SPECjvm98(), "SPECjvm98")
+		if spec, err = suite(workloads.SPECjvm98(), "SPECjvm98"); err != nil {
+			fmt.Fprintln(stderr, "benchtab:", err)
+			return 1
+		}
 	}
 
 	show := func(cond bool, s string) {
@@ -170,6 +187,7 @@ func main() {
 		}
 		fmt.Fprintln(w, bench.FormatTimingTable(rs))
 	}
+	return 0
 }
 
 func jbOr(r *bench.SuiteResult, f func(*bench.SuiteResult) string) string {

@@ -1,0 +1,91 @@
+package main
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden files from current output")
+
+func TestValidateGoldenOK(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-validate", "testdata/valid.json"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("exit code %d\nstderr: %s", code, stderr.String())
+	}
+	if stderr.Len() != 0 {
+		t.Errorf("unexpected stderr: %s", stderr.String())
+	}
+	path := filepath.Join("testdata", "validate_ok.golden")
+	if *update {
+		if err := os.WriteFile(path, stdout.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (run with -update to create it)", err)
+	}
+	if stdout.String() != string(want) {
+		t.Errorf("output differs from %s\n--- got ---\n%s--- want ---\n%s", path, stdout.String(), want)
+	}
+}
+
+// TestValidateRejectsCorruption pins the contract satellite 4 asks for: every
+// corruption class exits 1 with a single one-line "benchtab:" diagnostic on
+// stderr and nothing on stdout.
+func TestValidateRejectsCorruption(t *testing.T) {
+	cases := []struct {
+		file string
+		diag string // substring expected in the diagnostic
+	}{
+		{"bad_phasewalls.json", "phase walls sum"},
+		{"bad_totals.json", "do not match workload sums"},
+		{"bad_identical.json", "NOT identical"},
+		{"bad_speedup.json", "aggregate speedup"},
+		{"malformed.json", "bad JSON"},
+		{"no-such-artifact.json", "no such file"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.file, func(t *testing.T) {
+			var stdout, stderr bytes.Buffer
+			code := run([]string{"-validate", filepath.Join("testdata", tc.file)}, &stdout, &stderr)
+			if code != 1 {
+				t.Fatalf("exit code %d, want 1\nstdout: %s\nstderr: %s", code, stdout.String(), stderr.String())
+			}
+			if stdout.Len() != 0 {
+				t.Errorf("corrupted artifact must print nothing on stdout, got %q", stdout.String())
+			}
+			diag := strings.TrimRight(stderr.String(), "\n")
+			if strings.Count(diag, "\n") != 0 {
+				t.Errorf("diagnostic must be one line, got:\n%s", stderr.String())
+			}
+			if !strings.HasPrefix(diag, "benchtab: ") || !strings.Contains(diag, tc.diag) {
+				t.Errorf("diagnostic %q: want prefix \"benchtab: \" and substring %q", diag, tc.diag)
+			}
+		})
+	}
+}
+
+func TestUsageExitCodes(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+	}{
+		{"no mode selected", []string{}},
+		{"unknown machine", []string{"-machine", "vax", "-all"}},
+		{"unknown flag", []string{"-frobnicate"}},
+		{"stray arguments", []string{"-all", "stray"}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var stdout, stderr bytes.Buffer
+			if code := run(tc.args, &stdout, &stderr); code != 2 {
+				t.Fatalf("exit code %d, want 2\nstderr: %s", code, stderr.String())
+			}
+		})
+	}
+}

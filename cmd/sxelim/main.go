@@ -18,6 +18,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
@@ -48,6 +49,11 @@ type usageError string
 func (e usageError) Error() string { return string(e) }
 
 func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is the testable entry point; it returns the process exit code.
+func run(args []string, stdout, stderr io.Writer) int {
 	err := func() (err error) {
 		// The guarded pipeline already converts phase panics into per-function
 		// fallbacks; this is the last line of defense for everything else
@@ -58,18 +64,21 @@ func main() {
 				err = fmt.Errorf("internal error: %v", r)
 			}
 		}()
-		return run()
+		return runMain(args, stdout, stderr)
 	}()
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "sxelim:", err)
+		fmt.Fprintln(stderr, "sxelim:", err)
 		if _, ok := err.(usageError); ok {
-			os.Exit(2)
+			return 2
 		}
-		os.Exit(1)
+		return 1
 	}
+	return 0
 }
 
-func run() error {
+func runMain(args []string, stdout, stderr io.Writer) error {
+	flag := flag.NewFlagSet("sxelim", flag.ContinueOnError)
+	flag.SetOutput(stderr)
 	variant := flag.String("variant", "all", "algorithm variant (baseline, genuse, first, basic, insert, order, insert-order, array, array-insert, array-order, all-pde, all)")
 	machine := flag.String("machine", "ia64", "machine model: ia64 or ppc64")
 	dump := flag.Bool("dump", false, "print the optimized IR")
@@ -82,7 +91,9 @@ func run() error {
 	check := flag.Bool("check", false, "guarded pipeline: verify IR at phase boundaries and run the differential oracle")
 	budget := flag.Int("budget", 0, "per-function elimination work budget (0 = unlimited)")
 	parallel := flag.Int("parallel", 0, "compile-driver worker count (0 = all CPUs, 1 = sequential)")
-	flag.Parse()
+	if err := flag.Parse(args); err != nil {
+		return usageError(err.Error())
+	}
 
 	if flag.NArg() != 1 {
 		return usageError("usage: sxelim [flags] file.mj")
@@ -114,7 +125,7 @@ func run() error {
 		}()
 		if res != nil {
 			for _, fb := range res.Fallbacks() {
-				fmt.Fprintf(os.Stderr, "sxelim: fallback: %s disabled for %s: %s\n", fb.Phase, fb.Func, fb.Reason)
+				fmt.Fprintf(stderr, "sxelim: fallback: %s disabled for %s: %s\n", fb.Phase, fb.Func, fb.Reason)
 			}
 		}
 		return res, err
@@ -149,7 +160,7 @@ func run() error {
 			if base > 0 {
 				pct = 100 * float64(rr.DynamicExts) / float64(base)
 			}
-			fmt.Printf("%-28s dyn ext32 %12d (%6.2f%%)  static %4d  cycles %12d\n",
+			fmt.Fprintf(stdout, "%-28s dyn ext32 %12d (%6.2f%%)  static %4d  cycles %12d\n",
 				vv, rr.DynamicExts, pct, res.StaticExts(), rr.Cycles)
 		}
 		return nil
@@ -161,24 +172,24 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	fmt.Printf("variant %s, machine %s: %d extensions eliminated, %d inserted, %d remain\n",
+	fmt.Fprintf(stdout, "variant %s, machine %s: %d extensions eliminated, %d inserted, %d remain\n",
 		v, mach, res.Eliminated(), res.Inserted(), res.StaticExts())
 	if *check {
-		fmt.Println("oracle: optimized output and extension counts check out against the baseline reference")
+		fmt.Fprintln(stdout, "oracle: optimized output and extension counts check out against the baseline reference")
 	}
 	if *dump {
 		for _, fn := range res.IR().Funcs {
-			fmt.Println(fn.Format())
+			fmt.Fprintln(stdout, fn.Format())
 		}
 	}
 	if *asm {
 		for _, fn := range res.IR().Funcs {
-			fmt.Println(res.Assembly(fn.Name))
+			fmt.Fprintln(stdout, res.Assembly(fn.Name))
 		}
 	}
 	if *dot {
 		for _, fn := range res.IR().Funcs {
-			fmt.Println(fn.Dot())
+			fmt.Fprintln(stdout, fn.Dot())
 		}
 	}
 	if *run {
@@ -189,7 +200,7 @@ func run() error {
 				Mode:    interp.Mode64,
 				Machine: mach,
 				Trace: func(fname string, blk *ir.Block, ins *ir.Instr) {
-					fmt.Fprintf(os.Stderr, "%s\t%s\t%s\n", fname, blk, ins)
+					fmt.Fprintf(stderr, "%s\t%s\t%s\n", fname, blk, ins)
 				},
 				TraceLimit: *trace,
 			})
@@ -201,8 +212,8 @@ func run() error {
 		if err != nil {
 			return fmt.Errorf("execution failed: %w", err)
 		}
-		fmt.Print(rr.Output)
-		fmt.Printf("[dynamic 32-bit sign extensions: %d, cycles: %d]\n", rr.DynamicExts, rr.Cycles)
+		fmt.Fprint(stdout, rr.Output)
+		fmt.Fprintf(stdout, "[dynamic 32-bit sign extensions: %d, cycles: %d]\n", rr.DynamicExts, rr.Cycles)
 	}
 	return nil
 }

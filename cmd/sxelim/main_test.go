@@ -1,0 +1,83 @@
+package main
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden files from current output")
+
+// runGolden executes the CLI on the fixed fixture and compares stdout to a
+// golden file byte-for-byte. Regenerate with: go test ./cmd/sxelim -update
+func runGolden(t *testing.T, golden string, args ...string) {
+	t.Helper()
+	var stdout, stderr bytes.Buffer
+	if code := run(args, &stdout, &stderr); code != 0 {
+		t.Fatalf("exit code %d\nstderr: %s", code, stderr.String())
+	}
+	path := filepath.Join("testdata", golden)
+	if *update {
+		if err := os.WriteFile(path, stdout.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (run with -update to create it)", err)
+	}
+	if got := stdout.String(); got != string(want) {
+		t.Errorf("output differs from %s\n--- got ---\n%s--- want ---\n%s", path, got, want)
+	}
+}
+
+func TestGoldenSummaryAndRun(t *testing.T) {
+	// The default mode: one summary line, the program's own output, and the
+	// dynamic-count trailer. Everything here is deterministic: counts come
+	// from the interpreter, not timing.
+	runGolden(t, "narrow_run.golden", "-parallel", "1", "testdata/narrow.mj")
+}
+
+func TestGoldenCompare(t *testing.T) {
+	runGolden(t, "narrow_compare.golden", "-compare", "-parallel", "1", "testdata/narrow.mj")
+}
+
+func TestGoldenDump(t *testing.T) {
+	// -dump under the basic variant: the printed IR is the full optimized
+	// program, pinning instruction order, register numbering and the
+	// surviving extensions.
+	runGolden(t, "narrow_dump.golden", "-variant", "basic", "-run=false", "-dump", "-parallel", "1", "testdata/narrow.mj")
+}
+
+func TestGoldenIRInput(t *testing.T) {
+	runGolden(t, "ext_run.golden", "-check", "-parallel", "1", "testdata/ext.ir")
+}
+
+func TestExitCodes(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+		code int
+		diag string // substring expected on stderr
+	}{
+		{"no input file", []string{}, 2, "usage:"},
+		{"unknown variant", []string{"-variant", "nope", "testdata/narrow.mj"}, 2, "unknown variant"},
+		{"unknown flag", []string{"-frobnicate"}, 2, ""},
+		{"missing file", []string{"testdata/no-such-file.mj"}, 1, "no such file"},
+		{"bad source", []string{"testdata/bad.mj"}, 1, "sxelim:"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var stdout, stderr bytes.Buffer
+			if code := run(tc.args, &stdout, &stderr); code != tc.code {
+				t.Fatalf("exit code %d, want %d\nstderr: %s", code, tc.code, stderr.String())
+			}
+			if !strings.Contains(stderr.String(), tc.diag) {
+				t.Errorf("stderr %q does not contain %q", stderr.String(), tc.diag)
+			}
+		})
+	}
+}

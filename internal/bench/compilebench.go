@@ -204,11 +204,42 @@ func (r *CompileBenchResult) Validate() error {
 			return fmt.Errorf("compilebench: %s: phase walls sum to %d, recorded work %d (accounting broken)",
 				w.Name, work, w.WorkNS)
 		}
+		if !speedupConsistent(w.Speedup, w.SeqWallNS, w.ParWallNS) {
+			return fmt.Errorf("compilebench: %s: speedup %.4f inconsistent with walls %d/%d",
+				w.Name, w.Speedup, w.SeqWallNS, w.ParWallNS)
+		}
+	}
+	var sumSeq, sumPar int64
+	for _, w := range r.Workloads {
+		sumSeq += w.SeqWallNS
+		sumPar += w.ParWallNS
+	}
+	if sumSeq != r.TotalSeqNS || sumPar != r.TotalParNS {
+		return fmt.Errorf("compilebench: totals %d/%d do not match workload sums %d/%d (truncated artifact?)",
+			r.TotalSeqNS, r.TotalParNS, sumSeq, sumPar)
 	}
 	if r.Speedup <= 0 {
 		return fmt.Errorf("compilebench: missing aggregate speedup")
 	}
+	if !speedupConsistent(r.Speedup, r.TotalSeqNS, r.TotalParNS) {
+		return fmt.Errorf("compilebench: aggregate speedup %.4f inconsistent with totals %d/%d",
+			r.Speedup, r.TotalSeqNS, r.TotalParNS)
+	}
 	return nil
+}
+
+// speedupConsistent checks a recorded speedup against the walls it was
+// derived from, with slack for the float64 round-trip through JSON.
+func speedupConsistent(got float64, seq, par int64) bool {
+	if par <= 0 {
+		return got == 0
+	}
+	want := float64(seq) / float64(par)
+	diff := got - want
+	if diff < 0 {
+		diff = -diff
+	}
+	return diff <= 1e-9*want+1e-12
 }
 
 // ValidateCompileBenchJSON decodes and validates a BENCH_compile.json blob.

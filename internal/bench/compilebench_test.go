@@ -72,6 +72,24 @@ func TestCompileBenchValidateCatchesCorruption(t *testing.T) {
 	if bad.Validate() == nil {
 		t.Fatal("validation must fail when phase walls do not sum to the recorded work")
 	}
+	bad = *res
+	bad.Workloads = append([]CompileBenchWorkload(nil), res.Workloads...)
+	bad.TotalSeqNS += 999
+	if bad.Validate() == nil {
+		t.Fatal("validation must fail when totals do not match workload sums")
+	}
+	bad = *res
+	bad.Workloads = append([]CompileBenchWorkload(nil), res.Workloads...)
+	bad.Workloads[0].Speedup *= 2
+	if bad.Validate() == nil {
+		t.Fatal("validation must fail on a per-workload speedup inconsistent with its walls")
+	}
+	bad = *res
+	bad.Workloads = append([]CompileBenchWorkload(nil), res.Workloads...)
+	bad.Speedup += 0.5
+	if bad.Validate() == nil {
+		t.Fatal("validation must fail on an aggregate speedup inconsistent with the totals")
+	}
 	if _, err := ValidateCompileBenchJSON([]byte("{not json")); err == nil {
 		t.Fatal("validation must fail on malformed JSON")
 	}

@@ -1,0 +1,322 @@
+// Package difftest is the differential and metamorphic testing engine for
+// the sign extension elimination pipeline. For each generated program it
+// checks, against the real jit pipeline:
+//
+//   - the differential oracle: the fully eliminated build must reproduce the
+//     unoptimized Convert64-only build bit-for-bit (output and trap
+//     identity) and never execute more dynamic extensions;
+//   - the 32-bit reference: the Convert64-only 64-bit build must reproduce
+//     the frontend's 32-bit-form semantics (this is Convert64's own
+//     correctness contract);
+//   - cross-machine agreement: the IA64 and PPC64 reference outputs match;
+//   - the guarded pipeline compiles every valid program with zero fallbacks;
+//   - lowering cost invariants: IA64 sxt1/2/4 counts equal the surviving
+//     OpExt count, PPC64 extsb/h/w counts equal it plus one per byte load
+//     (the model pairs lbz with extsb);
+//   - parallel identity: Parallelism=1 and Parallelism=N produce
+//     bit-identical results;
+//   - budget monotonicity: Stats.Eliminated is monotone non-decreasing in
+//     ElimBudget (exhaustion falls a function back to Convert64-only);
+//   - fixpoint convergence: re-running Eliminate on its own output keeps
+//     semantics, never increases the static extension count, and reaches a
+//     textual fixpoint within a few iterations. (Strict single-pass
+//     idempotence is empirically false — a second pass occasionally finds
+//     one more eliminable extension — so the property checked is
+//     convergence, not no-op; see DESIGN.md §8.)
+//
+// Failures are minimized by the shrinker (shrink.go) and persisted as
+// self-contained reproducers (repro.go) which regress_test.go replays as
+// ordinary go tests. Campaign (campaign.go) drives timed multi-worker runs;
+// cmd/sxfuzz is its CLI.
+package difftest
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+
+	"signext/internal/extelim"
+	"signext/internal/guard"
+	"signext/internal/interp"
+	"signext/internal/ir"
+	"signext/internal/jit"
+	"signext/internal/minijava"
+	"signext/internal/progen"
+	"signext/internal/target"
+)
+
+// Program is one differential-test subject: a 32-bit-form IR program, plus
+// the seed and generator kind that reproduce it.
+type Program struct {
+	Seed   int64
+	Kind   string      // "mj" (via the MiniJava frontend) or "ir" (direct)
+	Source string      // MiniJava source when Kind == "mj"
+	Prog   *ir.Program // 32-bit form (frontend output)
+}
+
+// Generate builds the subject for one (seed, kind) pair. kind "mj" runs the
+// progen MiniJava generator through the real frontend; kind "ir" uses the
+// direct IR generator. A frontend rejection of a generated program is a
+// generator bug and comes back as an error.
+func Generate(seed int64, kind string, gen progen.Config) (*Program, error) {
+	switch kind {
+	case "mj":
+		src := progen.MiniJava(seed, gen)
+		cu, err := minijava.Compile(src)
+		if err != nil {
+			return nil, fmt.Errorf("difftest: seed %d: frontend rejected generated source: %w", seed, err)
+		}
+		return &Program{Seed: seed, Kind: kind, Source: src, Prog: cu.Prog}, nil
+	case "ir":
+		return &Program{Seed: seed, Kind: kind, Prog: progen.IR(seed, gen)}, nil
+	}
+	return nil, fmt.Errorf("difftest: unknown program kind %q", kind)
+}
+
+// Config selects which properties Check runs and their budgets.
+type Config struct {
+	Machines    []ir.Machine // default {IA64, PPC64}
+	MaxSteps    int64        // per interpreter run (default 50M)
+	Budgets     []int        // ascending ElimBudget ladder; default {300, 3000}
+	Parallelism int          // worker count of the parallel-identity leg (default 4)
+	FixpointK   int          // Eliminate iterations allowed to converge (default 4)
+
+	// OracleOnly restricts Check to the differential oracle and fallback
+	// properties — the fast mode for high-throughput campaigns; the
+	// metamorphic properties then run on a sample, not every program.
+	OracleOnly bool
+}
+
+func (c Config) withDefaults() Config {
+	if len(c.Machines) == 0 {
+		c.Machines = []ir.Machine{ir.IA64, ir.PPC64}
+	}
+	if c.MaxSteps <= 0 {
+		c.MaxSteps = 50_000_000
+	}
+	if len(c.Budgets) == 0 {
+		c.Budgets = []int{300, 3000}
+	}
+	if c.Parallelism <= 0 {
+		c.Parallelism = 4
+	}
+	if c.FixpointK <= 0 {
+		c.FixpointK = 4
+	}
+	return c
+}
+
+// Failure is one property violation on one program.
+type Failure struct {
+	Prop    string // property name: "oracle", "fallback", "lowering", ...
+	Machine ir.Machine
+	Detail  string
+}
+
+func (f Failure) String() string {
+	return fmt.Sprintf("[%s/%v] %s", f.Prop, f.Machine, f.Detail)
+}
+
+// Check runs every configured property on one program. skipped reports that
+// the program proved nothing (its reference run hit the step limit) and
+// should not count as covered. An empty failure list means every property
+// held.
+func Check(p *Program, cfg Config) (fails []Failure, skipped bool) {
+	cfg = cfg.withDefaults()
+	fail := func(prop string, mach ir.Machine, format string, args ...interface{}) {
+		fails = append(fails, Failure{Prop: prop, Machine: mach, Detail: fmt.Sprintf(format, args...)})
+	}
+
+	// The 32-bit-form reference semantics: ground truth for everything.
+	ref32, ref32Err := interp.Run(p.Prog, "main", interp.Options{
+		Mode: interp.Mode32, MaxSteps: cfg.MaxSteps,
+	})
+	if errors.Is(ref32Err, interp.ErrStepLimit) {
+		return nil, true
+	}
+
+	refOut := map[ir.Machine]string{}
+	for _, mach := range cfg.Machines {
+		opts := jit.Options{
+			Variant: jit.All, Machine: mach, GeneralOpts: true,
+			Checked: true, Parallelism: 1,
+		}
+		res, err := jit.Compile(p.Prog, opts)
+		if err != nil {
+			fail("compile", mach, "guarded compile failed: %v", err)
+			continue
+		}
+		for _, fb := range res.Fallbacks {
+			fail("fallback", mach, "pipeline fell back on valid input: %v", fb)
+		}
+
+		// Differential oracle: Convert64-only reference vs fully eliminated.
+		oracle := guard.Oracle{Machine: mach, MaxSteps: cfg.MaxSteps}
+		rep, oerr := oracle.Check(p.Prog, res.Prog)
+		if errors.Is(rep.RefErr, interp.ErrStepLimit) && errors.Is(rep.OptErr, interp.ErrStepLimit) {
+			return nil, true
+		}
+		if oerr != nil {
+			fail("oracle", mach, "%v", oerr)
+		}
+		if rep.RefErr == nil {
+			refOut[mach] = rep.RefOutput
+		}
+
+		// Convert64 contract: the 64-bit reference build reproduces the
+		// 32-bit-form semantics exactly.
+		if (ref32Err != nil) != (rep.RefErr != nil) {
+			fail("mode32", mach, "trap mismatch: 32-bit form %v, Convert64 reference %v", ref32Err, rep.RefErr)
+		} else if ref32.Output != rep.RefOutput {
+			fail("mode32", mach, "output mismatch:\n32-bit form %q\nConvert64 reference %q", ref32.Output, rep.RefOutput)
+		}
+
+		if d := loweringDetail(res.Prog, mach); d != "" {
+			fail("lowering", mach, "%s", d)
+		}
+
+		if cfg.OracleOnly {
+			continue
+		}
+
+		// Parallel identity: worker count must not change the result.
+		popts := opts
+		popts.Parallelism = cfg.Parallelism
+		pres, err := jit.Compile(p.Prog, popts)
+		if err != nil {
+			fail("parallel-identity", mach, "parallel compile failed: %v", err)
+		} else if fingerprint(res) != fingerprint(pres) {
+			fail("parallel-identity", mach, "Parallelism=1 and Parallelism=%d results differ", cfg.Parallelism)
+		}
+
+		// Budget monotonicity: a larger work budget never eliminates less.
+		prev, prevBudget := -1, 0
+		for _, budget := range append(append([]int{}, cfg.Budgets...), 0) {
+			bopts := opts
+			bopts.ElimBudget = budget
+			bres, err := jit.Compile(p.Prog, bopts)
+			if err != nil {
+				fail("budget", mach, "compile with budget %d failed: %v", budget, err)
+				break
+			}
+			if prev >= 0 && bres.Stats.Eliminated < prev {
+				fail("budget", mach, "eliminated count not monotone: budget %d eliminated %d, budget %d eliminated %d",
+					prevBudget, prev, budget, bres.Stats.Eliminated)
+			}
+			prev, prevBudget = bres.Stats.Eliminated, budget
+		}
+
+		checkFixpoint(res, mach, cfg, p, fail)
+	}
+
+	// Cross-machine agreement of the reference builds.
+	if a, aok := refOut[ir.IA64]; aok {
+		if b, bok := refOut[ir.PPC64]; bok && a != b {
+			fail("cross-machine", ir.IA64, "IA64 and PPC64 reference outputs differ:\nia64 %q\nppc64 %q", a, b)
+		}
+	}
+	return fails, false
+}
+
+// checkFixpoint re-runs the elimination phase on its own output: the static
+// extension count must never grow, the IR must reach a textual fixpoint
+// within FixpointK iterations, and the converged program must still satisfy
+// the oracle.
+func checkFixpoint(res *jit.Result, mach ir.Machine, cfg Config, p *Program,
+	fail func(prop string, mach ir.Machine, format string, args ...interface{})) {
+	clone := res.Prog.Clone()
+	ecfg := extelim.Config{Machine: mach, Insert: true, Order: true, Array: true}
+	count := func() int {
+		n := 0
+		for _, fn := range clone.Funcs {
+			n += fn.CountOp(ir.OpExt)
+		}
+		return n
+	}
+	prevExts, prevText := count(), formatProgram(clone)
+	converged := false
+	for it := 1; it <= cfg.FixpointK; it++ {
+		for _, fn := range clone.Funcs {
+			extelim.Eliminate(fn, ecfg)
+		}
+		exts, text := count(), formatProgram(clone)
+		if exts > prevExts {
+			fail("fixpoint", mach, "iteration %d grew the static extension count %d -> %d", it, prevExts, exts)
+			return
+		}
+		if text == prevText {
+			converged = true
+			break
+		}
+		prevExts, prevText = exts, text
+	}
+	if !converged {
+		fail("fixpoint", mach, "Eliminate did not reach an IR fixpoint within %d iterations", cfg.FixpointK)
+		return
+	}
+	oracle := guard.Oracle{Machine: mach, MaxSteps: cfg.MaxSteps}
+	if _, err := oracle.Check(p.Prog, clone); err != nil {
+		fail("fixpoint", mach, "converged program violates the oracle: %v", err)
+	}
+}
+
+// loweringDetail cross-checks the machine-level extension cost against the
+// IR-level count. IA64 materializes exactly one sxt1/sxt2/sxt4 per OpExt;
+// PPC64 one extsb/extsh/extsw per OpExt plus one extsb per byte load (no
+// sign-extending lba exists, so lbz pairs with extsb).
+func loweringDetail(prog *ir.Program, mach ir.Machine) string {
+	for _, fn := range prog.Funcs {
+		asm := target.Lower(fn, mach)
+		exts := fn.CountOp(ir.OpExt)
+		var got, want int
+		switch mach {
+		case ir.IA64:
+			got = asm.Count("sxt1") + asm.Count("sxt2") + asm.Count("sxt4")
+			want = exts
+		case ir.PPC64:
+			byteLoads := 0
+			fn.ForEachInstr(func(_ *ir.Block, ins *ir.Instr) {
+				if (ins.Op == ir.OpArrLoad || ins.Op == ir.OpLoadG) && ins.W == ir.W8 && !ins.Float {
+					byteLoads++
+				}
+			})
+			got = asm.Count("extsb") + asm.Count("extsh") + asm.Count("extsw")
+			want = exts + byteLoads
+		}
+		if got != want {
+			return fmt.Sprintf("%s: machine ext count %d, IR predicts %d", fn.Name, got, want)
+		}
+	}
+	return ""
+}
+
+// fingerprint captures everything about a compile result that must not
+// depend on worker scheduling: the IR, statistics, telemetry shape (minus
+// wall times) and fallback records.
+func fingerprint(res *jit.Result) string {
+	var b strings.Builder
+	for _, fn := range res.Prog.Funcs {
+		b.WriteString(fn.Format())
+	}
+	fmt.Fprintf(&b, "stats=%+v static=%d\n", res.Stats, res.StaticExts)
+	for _, r := range res.Telemetry {
+		fmt.Fprintf(&b, "tel %s %s %d %d %d %v\n", r.Func, r.Phase, r.Eliminated, r.Inserted, r.Dummies, r.Fallback)
+	}
+	for _, fb := range res.Fallbacks {
+		fmt.Fprintf(&b, "fb %s %s\n", fb.Phase, fb.Func)
+	}
+	return b.String()
+}
+
+// formatProgram renders a program in its canonical textual form.
+func formatProgram(p *ir.Program) string {
+	var b strings.Builder
+	if p.NGlobals > 0 {
+		fmt.Fprintf(&b, "globals %d\n", p.NGlobals)
+	}
+	for _, fn := range p.Funcs {
+		b.WriteString(fn.Format())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

@@ -1,0 +1,350 @@
+package difftest
+
+import (
+	"errors"
+
+	"signext/internal/interp"
+	"signext/internal/ir"
+)
+
+// Predicate reports whether a candidate 32-bit-form program still exhibits
+// the failure being minimized. Candidates handed to it are always
+// structurally valid (ir.Verify-clean, entry present) and terminate within
+// the shrinker's step budget in the 32-bit interpreter.
+type Predicate func(*ir.Program) bool
+
+// shrinkMaxSteps bounds candidate pre-validation runs: collapsing a loop
+// backedge can turn a terminating program into a spinner, and rejecting
+// those must be cheap.
+const shrinkMaxSteps = 2_000_000
+
+// Shrink greedily minimizes prog while pred keeps holding, using ddmin-style
+// chunked instruction deletion, conditional-branch collapsing, unreachable
+// block removal, whole-function removal and constant simplification, to a
+// fixpoint. The input program itself must satisfy pred; the result always
+// does.
+func Shrink(prog *ir.Program, pred Predicate) *ir.Program {
+	cur := prog.Clone()
+	holds := func(cand *ir.Program) bool { return validCandidate(cand) && pred(cand) }
+	for round := 0; round < 12; round++ {
+		changed := false
+		if dropFuncs(&cur, holds) {
+			changed = true
+		}
+		if collapseBranches(&cur, holds) {
+			changed = true
+		}
+		if mergeBlocks(&cur, holds) {
+			changed = true
+		}
+		// Constifying a def severs its whole input dependence chain, which
+		// the next dropInstrs sweep then deletes — plain deletion alone
+		// cannot do that, because removing a still-used definition is
+		// rejected by the checked compile.
+		if NumInstrs(cur) <= 100 && constifyDefs(&cur, holds) {
+			changed = true
+		}
+		if dropInstrs(&cur, holds) {
+			changed = true
+		}
+		// Constant rewriting costs one predicate call per constant, so it
+		// only runs once the structural passes have the program small.
+		if NumInstrs(cur) <= 60 && zeroConsts(&cur, holds) {
+			changed = true
+		}
+		if !changed {
+			return cur
+		}
+	}
+	return cur
+}
+
+// NumInstrs counts the instructions of every function — the reproducer size
+// metric reported by campaigns.
+func NumInstrs(p *ir.Program) int {
+	n := 0
+	for _, fn := range p.Funcs {
+		for _, b := range fn.Blocks {
+			n += len(b.Instrs)
+		}
+	}
+	return n
+}
+
+// validCandidate rejects structurally broken or non-terminating candidates
+// before the (expensive) failure predicate runs.
+func validCandidate(p *ir.Program) bool {
+	if p.Func("main") == nil || len(p.Funcs) == 0 {
+		return false
+	}
+	for _, fn := range p.Funcs {
+		if len(fn.Blocks) == 0 || fn.Verify() != nil {
+			return false
+		}
+	}
+	_, err := interp.Run(p, "main", interp.Options{Mode: interp.Mode32, MaxSteps: shrinkMaxSteps})
+	return !errors.Is(err, interp.ErrStepLimit) // traps are fine, spinning is not
+}
+
+// dropFuncs tries to delete whole non-entry functions.
+func dropFuncs(cur **ir.Program, holds func(*ir.Program) bool) bool {
+	changed := false
+	for i := 0; i < len((*cur).Funcs); {
+		if (*cur).Funcs[i].Name == "main" {
+			i++
+			continue
+		}
+		cand := (*cur).Clone()
+		cand.Funcs = append(cand.Funcs[:i], cand.Funcs[i+1:]...)
+		if holds(cand) {
+			*cur = cand
+			changed = true
+		} else {
+			i++
+		}
+	}
+	return changed
+}
+
+// collapseBranches tries to replace each conditional branch with an
+// unconditional jump to one of its successors, then prunes blocks that
+// became unreachable.
+func collapseBranches(cur **ir.Program, holds func(*ir.Program) bool) bool {
+	changed := false
+	for fi := range (*cur).Funcs {
+		for bi := range (*cur).Funcs[fi].Blocks {
+			for keep := 0; keep < 2; keep++ {
+				fn := (*cur).Funcs[fi]
+				if bi >= len(fn.Blocks) {
+					break
+				}
+				term := fn.Blocks[bi].Term()
+				if term == nil || (term.Op != ir.OpBr && term.Op != ir.OpFBr) {
+					break
+				}
+				cand := (*cur).Clone()
+				cfn := cand.Funcs[fi]
+				blk := cfn.Blocks[bi]
+				ct := blk.Term()
+				if len(blk.Succs) != 2 {
+					break
+				}
+				kept, dropped := blk.Succs[keep], blk.Succs[1-keep]
+				blk.Remove(ct)
+				jmp := cfn.NewInstr(ir.OpJmp)
+				jmp.Blk = blk
+				blk.Instrs = append(blk.Instrs, jmp)
+				ir.RemoveEdge(blk, dropped)
+				_ = kept // the edge to kept is already in place
+				pruneUnreachable(cfn)
+				if holds(cand) {
+					*cur = cand
+					changed = true
+					break
+				}
+			}
+		}
+	}
+	return changed
+}
+
+// mergeBlocks splices single-successor/single-predecessor block pairs
+// together, dissolving the jmp-only chains that branch collapsing and
+// instruction deletion leave behind. The rewrite is semantics-preserving,
+// but block structure is compiler input, so each merge is still gated on
+// the failure predicate.
+func mergeBlocks(cur **ir.Program, holds func(*ir.Program) bool) bool {
+	changed := false
+	for again := true; again; {
+		again = false
+		for fi := range (*cur).Funcs {
+			fn := (*cur).Funcs[fi]
+			for bi := 0; bi < len(fn.Blocks) && !again; bi++ {
+				b := fn.Blocks[bi]
+				t := b.Term()
+				if t == nil || t.Op != ir.OpJmp || len(b.Succs) != 1 {
+					continue
+				}
+				s := b.Succs[0]
+				if s == b || len(s.Preds) != 1 {
+					continue
+				}
+				si := -1
+				for k, x := range fn.Blocks {
+					if x == s {
+						si = k
+					}
+				}
+				cand := (*cur).Clone()
+				cfn := cand.Funcs[fi]
+				spliceBlocks(cfn, cfn.Blocks[bi], cfn.Blocks[si])
+				if holds(cand) {
+					*cur = cand
+					changed, again = true, true // block indices shifted; restart
+				}
+			}
+		}
+	}
+	return changed
+}
+
+// spliceBlocks appends s's instructions to b (whose terminator is a jmp to
+// s), transfers s's out-edges in order, and deletes s from the function.
+func spliceBlocks(fn *ir.Func, b, s *ir.Block) {
+	b.Remove(b.Term())
+	ir.RemoveEdge(b, s)
+	for _, t := range append([]*ir.Block{}, s.Succs...) {
+		ir.RemoveEdge(s, t)
+		ir.AddEdge(b, t)
+	}
+	for _, ins := range s.Instrs {
+		ins.Blk = b
+		b.Instrs = append(b.Instrs, ins)
+	}
+	s.Instrs = nil
+	for k, x := range fn.Blocks {
+		if x == s {
+			fn.Blocks = append(fn.Blocks[:k], fn.Blocks[k+1:]...)
+			break
+		}
+	}
+}
+
+// pruneUnreachable removes blocks not reachable from the entry, detaching
+// their edges first so the CFG stays consistent.
+func pruneUnreachable(fn *ir.Func) {
+	reach := map[*ir.Block]bool{}
+	var walk func(b *ir.Block)
+	walk = func(b *ir.Block) {
+		if reach[b] {
+			return
+		}
+		reach[b] = true
+		for _, s := range b.Succs {
+			walk(s)
+		}
+	}
+	walk(fn.Blocks[0])
+	var kept []*ir.Block
+	for _, b := range fn.Blocks {
+		if reach[b] {
+			kept = append(kept, b)
+			continue
+		}
+		for len(b.Succs) > 0 {
+			ir.RemoveEdge(b, b.Succs[0])
+		}
+	}
+	fn.Blocks = kept
+}
+
+// dropInstrs deletes non-terminator instructions, largest chunks first
+// (ddmin-style) so minimization cost stays far below one predicate call per
+// instruction.
+func dropInstrs(cur **ir.Program, holds func(*ir.Program) bool) bool {
+	changed := false
+	for fi := range (*cur).Funcs {
+		for bi := 0; bi < len((*cur).Funcs[fi].Blocks); bi++ {
+			// Body length excludes the terminator, which is never deleted.
+			bodyLen := func() int {
+				blk := (*cur).Funcs[fi].Blocks[bi]
+				n := len(blk.Instrs)
+				if t := blk.Term(); t != nil {
+					n--
+				}
+				return n
+			}
+			for size := bodyLen(); size >= 1; size /= 2 {
+				for start := 0; start+size <= bodyLen(); {
+					cand := (*cur).Clone()
+					blk := cand.Funcs[fi].Blocks[bi]
+					blk.Instrs = append(blk.Instrs[:start:start], blk.Instrs[start+size:]...)
+					if holds(cand) {
+						*cur = cand
+						changed = true
+					} else {
+						start++
+					}
+				}
+			}
+		}
+	}
+	return changed
+}
+
+// constifyDefs tries to replace each value-producing instruction with a
+// constant-zero definition of the same register, cutting its operands loose.
+func constifyDefs(cur **ir.Program, holds func(*ir.Program) bool) bool {
+	changed := false
+	for fi := range (*cur).Funcs {
+		for bi := range (*cur).Funcs[fi].Blocks {
+			for ii := range (*cur).Funcs[fi].Blocks[bi].Instrs {
+				ins := (*cur).Funcs[fi].Blocks[bi].Instrs[ii]
+				switch ins.Op {
+				case ir.OpConst, ir.OpFConst, ir.OpNewArr:
+					continue // already minimal / array refs must stay arrays
+				}
+				if ins.IsTerminator() || !ins.HasDst() {
+					continue
+				}
+				cand := (*cur).Clone()
+				cfn := cand.Funcs[fi]
+				old := cfn.Blocks[bi].Instrs[ii]
+				var c *ir.Instr
+				if floatResult(old) {
+					c = cfn.NewInstr(ir.OpFConst)
+				} else {
+					c = cfn.NewInstr(ir.OpConst)
+					c.W = old.W
+					if c.W == 0 {
+						c.W = ir.W64
+					}
+				}
+				c.Dst = old.Dst
+				c.Blk = old.Blk
+				cfn.Blocks[bi].Instrs[ii] = c
+				if holds(cand) {
+					*cur = cand
+					changed = true
+				}
+			}
+		}
+	}
+	return changed
+}
+
+// floatResult reports whether the instruction defines a float register.
+func floatResult(ins *ir.Instr) bool {
+	switch ins.Op {
+	case ir.OpFConst, ir.OpFMov, ir.OpFAdd, ir.OpFSub, ir.OpFMul, ir.OpFDiv,
+		ir.OpFNeg, ir.OpI2D, ir.OpL2D, ir.OpFCall:
+		return true
+	case ir.OpArrLoad, ir.OpLoadG, ir.OpCall:
+		return ins.Float
+	}
+	return false
+}
+
+// zeroConsts rewrites constants to 0 — smaller immediates make reproducers
+// easier to read and often expose that a value is irrelevant.
+func zeroConsts(cur **ir.Program, holds func(*ir.Program) bool) bool {
+	changed := false
+	for fi := range (*cur).Funcs {
+		fn := (*cur).Funcs[fi]
+		for bi := range fn.Blocks {
+			for ii := range fn.Blocks[bi].Instrs {
+				ins := (*cur).Funcs[fi].Blocks[bi].Instrs[ii]
+				if ins.Op != ir.OpConst || ins.Const == 0 {
+					continue
+				}
+				cand := (*cur).Clone()
+				cand.Funcs[fi].Blocks[bi].Instrs[ii].Const = 0
+				if holds(cand) {
+					*cur = cand
+					changed = true
+				}
+			}
+		}
+	}
+	return changed
+}

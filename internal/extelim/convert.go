@@ -90,6 +90,9 @@ func ConvertGenUse(fn *ir.Func, mach ir.Machine) int {
 	info := cfg.Compute(fn)
 	ch := chains.Build(fn, info)
 	n := 0
+	// Definitions that were given a trailing def-site extension by the
+	// mixed-width fallback below; they now produce clean values.
+	defExtended := map[*ir.Instr]bool{}
 	for _, b := range fn.Blocks {
 		for k := 0; k < len(b.Instrs); k++ {
 			ins := b.Instrs[k]
@@ -103,8 +106,44 @@ func ConvertGenUse(fn *ir.Func, mach ir.Machine) int {
 				if d == 0 {
 					continue
 				}
-				extW, need := genUseSourceWidth(ch, ins, op, mach)
-				if !need || d <= extW {
+				dirty := genUseDirtyDefs(ch, ins, op, mach, defExtended)
+				if len(dirty) == 0 {
+					continue
+				}
+				extW := dirty[0].w
+				mixed := false
+				for _, dd := range dirty[1:] {
+					if dd.w != extW {
+						mixed = true
+					}
+				}
+				if mixed {
+					// No single use-site width repairs every path: sign-
+					// extending from 32 leaves a zero-extended byte load
+					// wrong, extending from 8 corrupts genuine 32-bit
+					// values. Extend the narrow producers where they are
+					// defined; only width-32 producers then remain dirty.
+					extW = 32
+					for _, dd := range dirty {
+						if dd.w >= 32 || defExtended[dd.def] {
+							continue
+						}
+						defExtended[dd.def] = true
+						ext := newSameRegExt(fn, ir.Width(dd.w), dd.def.Dst)
+						blk := dd.def.Blk
+						for i, x := range blk.Instrs {
+							if x == dd.def {
+								blk.InsertAt(i+1, ext)
+								if blk == b && i < k {
+									k++
+								}
+								break
+							}
+						}
+						n++
+					}
+				}
+				if d <= extW {
 					continue
 				}
 				done[r] = true
@@ -137,45 +176,39 @@ func genUseDemand(ins *ir.Instr, op int) uint8 {
 	return 0
 }
 
-// genUseSourceWidth is the cheap code-generation-time check: if every
-// definition reaching the operand is extension-producing, no extension is
-// needed (need=false). Otherwise it returns the width the register is valid
-// to (the natural width of the dirty producers), from which an extension
-// must widen.
-func genUseSourceWidth(ch *chains.Chains, ins *ir.Instr, op int, mach ir.Machine) (uint8, bool) {
-	defs := ch.UD(ins, op)
-	if len(defs) == 0 {
-		return 32, false
-	}
-	valid := true
-	var w uint8
-	for _, d := range defs {
+// dirtyDef is a reaching definition that does not produce a sign-extended
+// value, with the width its register is valid to.
+type dirtyDef struct {
+	def *ir.Instr
+	w   uint8
+}
+
+// genUseDirtyDefs is the cheap code-generation-time check: it returns the
+// reaching definitions of the operand that are not extension-producing (and
+// were not already repaired by a def-site extension), each with the natural
+// width the register is valid to. An empty result means the operand is
+// guaranteed clean and needs no extension.
+func genUseDirtyDefs(ch *chains.Chains, ins *ir.Instr, op int, mach ir.Machine,
+	defExtended map[*ir.Instr]bool) []dirtyDef {
+	var dirty []dirtyDef
+	for _, d := range ch.UD(ins, op) {
 		if d.IsParam() {
 			continue // parameters arrive extended
+		}
+		if defExtended[d.Instr] {
+			continue
 		}
 		dd := ir.DefOf(d.Instr, mach)
 		if dd.Class == ir.DefExtended && dd.Bits <= 32 {
 			continue
 		}
-		valid = false
 		nat := uint8(d.Instr.W)
-		if nat > 32 {
+		if nat > 32 || nat == 0 {
 			nat = 32
 		}
-		switch {
-		case w == 0:
-			w = nat
-		case w != nat:
-			w = 32 // mixed producers: extend from the int width
-		}
+		dirty = append(dirty, dirtyDef{def: d.Instr, w: nat})
 	}
-	if valid {
-		return 32, false
-	}
-	if w == 0 {
-		w = 32
-	}
-	return w, true
+	return dirty
 }
 
 // newSameRegExt builds the canonical compiler-generated extension

@@ -261,6 +261,47 @@ func TestGenUseWidths(t *testing.T) {
 	}
 }
 
+// TestGenUseMixedWidths pins the sxfuzz-found miscompile where a byte load
+// (valid to 8 bits) and a 32-bit value reach the same full-register use on
+// different paths: one ext.32 before the use cannot repair the byte path,
+// and one ext.8 would corrupt the 32-bit path. Gen-use must extend the
+// narrow producer at its definition and only then extend from 32 at the use.
+func TestGenUseMixedWidths(t *testing.T) {
+	b := ir.NewFunc("m", ir.Param{Ref: true}, ir.Param{W: ir.W32})
+	arr, x := ir.Reg(0), ir.Reg(1)
+	v := b.Mov(ir.W32, x)
+	thenB, joinB := b.NewBlock(), b.NewBlock()
+	b.Br(ir.W32, ir.CondLT, x, v, thenB, joinB)
+	b.SetBlock(thenB)
+	load := b.Fn.NewInstr(ir.OpArrLoad)
+	load.W = ir.W8
+	load.Dst = v
+	load.Srcs[0], load.Srcs[1] = arr, x
+	load.NSrcs = 2
+	thenB.InsertAt(0, load)
+	b.Jmp(joinB)
+	b.SetBlock(joinB)
+	b.Print(ir.W32, v)
+	b.Ret(ir.NoReg)
+
+	ConvertGenUse(b.Fn, ir.IA64)
+	// The byte load must carry its own trailing ext.8.
+	next := load.Blk.Instrs[1]
+	if !next.IsExt() || next.W != ir.W8 || next.Dst != v {
+		t.Fatalf("byte load not extended at its definition:\n%s", b.Fn.Format())
+	}
+	// The use still needs an ext.32 for the 32-bit path.
+	var w32 int
+	for _, ins := range joinB.Instrs {
+		if ins.IsExt() && ins.W == ir.W32 && ins.Dst == v {
+			w32++
+		}
+	}
+	if w32 != 1 {
+		t.Fatalf("expected one ext.32 before the full-register use:\n%s", b.Fn.Format())
+	}
+}
+
 // TestFirstAlgorithmKeepsLatest: with two extensions in sequence and a full
 // demand downstream, backward dataflow keeps the later one (the paper's
 // third limitation).

@@ -268,7 +268,11 @@ func (m *machine) call(fn *ir.Func, args []slot) (slot, error) {
 				if ins.W == ir.W64 {
 					regs[ins.Dst].i = int64(uint64(x) >> n)
 				} else {
-					regs[ins.Dst].i = int64((uint64(x) & ins.W.Mask()) >> n)
+					// A zero shift of a negative value keeps bit W-1 set, so
+					// the result must go through Mode32 normalization like any
+					// other narrow def (found by sxfuzz: ">>> 0" printed the
+					// zero-extended register on the 32-bit reference).
+					m.setInt(regs, ins, int64((uint64(x)&ins.W.Mask())>>n))
 				}
 			case ir.OpExt:
 				m.res.Ext[ins.W]++

@@ -9,7 +9,9 @@ import (
 // ParseProgram parses the textual IR form produced by Func.Format back into
 // a program, enabling golden tests, hand-written test inputs and tooling.
 // The accepted grammar is exactly what Format emits, plus an optional
-// leading "globals N" line:
+// leading "globals N" line; everything from a ";" to the end of its line is
+// a comment (Format itself emits "; preds" annotations, and sxfuzz
+// reproducers carry "; key: value" metadata headers):
 //
 //	globals 2
 //	func f(r0 i32, r1 ref) i32 {
@@ -31,7 +33,7 @@ func ParseProgram(src string) (*Program, error) {
 		if p.eof() {
 			break
 		}
-		line := strings.TrimSpace(p.cur())
+		line := stripComment(p.cur())
 		switch {
 		case strings.HasPrefix(line, "globals "):
 			n, err := strconv.Atoi(strings.TrimSpace(strings.TrimPrefix(line, "globals ")))
@@ -70,9 +72,18 @@ func (p *irParser) cur() string { return p.lines[p.pos] }
 func (p *irParser) next()       { p.pos++ }
 
 func (p *irParser) skipBlank() {
-	for !p.eof() && strings.TrimSpace(p.cur()) == "" {
+	for !p.eof() && stripComment(p.cur()) == "" {
 		p.next()
 	}
+}
+
+// stripComment trims whitespace and drops everything from ";" on. The IR
+// grammar has no string literals, so ";" anywhere starts a comment.
+func stripComment(line string) string {
+	if idx := strings.Index(line, ";"); idx >= 0 {
+		line = line[:idx]
+	}
+	return strings.TrimSpace(line)
 }
 
 func (p *irParser) errf(format string, args ...interface{}) error {
@@ -191,10 +202,7 @@ func (p *irParser) parseFunc() (*Func, error) {
 		if p.eof() {
 			return nil, p.errf("unterminated function %s", fn.Name)
 		}
-		line := strings.TrimSpace(p.cur())
-		if idx := strings.Index(line, "; preds"); idx >= 0 {
-			line = strings.TrimSpace(line[:idx])
-		}
+		line := stripComment(p.cur())
 		p.next()
 		switch {
 		case line == "":

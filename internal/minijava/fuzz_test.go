@@ -1,162 +1,21 @@
 package minijava
 
 import (
-	"fmt"
-	"math/rand"
-	"strings"
 	"testing"
 
 	"signext/internal/interp"
 	"signext/internal/ir"
 	"signext/internal/jit"
+	"signext/internal/progen"
 )
 
-// progGen generates random but terminating MiniJava programs exercising the
-// whole surface: mixed-width arithmetic, casts, narrow arrays, bounded loops
-// and array subscript shapes. Programs are deterministic per seed.
-type progGen struct {
-	r     *rand.Rand
-	sb    strings.Builder
-	depth int
-	vars  []string // assignable int locals in scope
-	ro    []string // read-only names (loop counters): never assigned, so loops terminate
-}
-
-func (g *progGen) pick(ss []string) string { return ss[g.r.Intn(len(ss))] }
-
-func (g *progGen) intExpr(depth int) string {
-	if depth <= 0 || g.r.Intn(3) == 0 {
-		switch g.r.Intn(5) {
-		case 0:
-			return fmt.Sprint(g.r.Int31n(200) - 100)
-		case 1:
-			return fmt.Sprint(g.r.Int31()) // large constants stress wrapping
-		case 2:
-			all := append(append([]string{}, g.vars...), g.ro...)
-			if len(all) > 0 {
-				return g.pick(all)
-			}
-			return "7"
-		case 3:
-			return fmt.Sprintf("a[%s & 31]", g.smallExpr())
-		default:
-			return fmt.Sprintf("(b[%s & 63])", g.smallExpr())
-		}
-	}
-	op := g.pick([]string{"+", "-", "*", "&", "|", "^", "<<", ">>", ">>>"})
-	x := g.intExpr(depth - 1)
-	y := g.intExpr(depth - 1)
-	if op == "<<" || op == ">>" || op == ">>>" {
-		y = fmt.Sprintf("(%s & 7)", y)
-	}
-	e := fmt.Sprintf("(%s %s %s)", x, op, y)
-	switch g.r.Intn(8) {
-	case 0:
-		return "(byte)" + e
-	case 1:
-		return "(short)" + e
-	case 2:
-		return "(char)" + e
-	case 3:
-		return "(int)((long)" + e + " * 3L)"
-	}
-	return e
-}
-
-func (g *progGen) smallExpr() string {
-	all := append(append([]string{}, g.vars...), g.ro...)
-	if len(all) > 0 && g.r.Intn(2) == 0 {
-		return g.pick(all)
-	}
-	return fmt.Sprint(g.r.Int31n(64))
-}
-
-func (g *progGen) stmt(depth int) {
-	switch g.r.Intn(7) {
-	case 0: // new local
-		name := fmt.Sprintf("v%d", len(g.vars))
-		fmt.Fprintf(&g.sb, "int %s = %s;\n", name, g.intExpr(2))
-		g.vars = append(g.vars, name)
-	case 1: // assignment / compound
-		if len(g.vars) == 0 {
-			g.stmt(depth)
-			return
-		}
-		v := g.pick(g.vars)
-		op := g.pick([]string{"=", "+=", "-=", "*=", "&=", "|=", "^="})
-		fmt.Fprintf(&g.sb, "%s %s %s;\n", v, op, g.intExpr(2))
-	case 2: // array store
-		fmt.Fprintf(&g.sb, "a[%s & 31] = %s;\n", g.smallExpr(), g.intExpr(2))
-	case 3: // byte array store (truncating)
-		fmt.Fprintf(&g.sb, "b[%s & 63] = (byte)(%s);\n", g.smallExpr(), g.intExpr(1))
-	case 4: // bounded loop
-		if depth <= 0 {
-			g.stmt(0)
-			return
-		}
-		idx := fmt.Sprintf("k%d", g.depth)
-		g.depth++
-		n := g.r.Intn(2)
-		if g.r.Intn(2) == 0 {
-			fmt.Fprintf(&g.sb, "for (int %s = 0; %s < %d; %s++) {\n", idx, idx, 3+g.r.Intn(12), idx)
-		} else {
-			fmt.Fprintf(&g.sb, "for (int %s = %d; %s > 0; %s--) {\n", idx, 3+g.r.Intn(12), idx, idx)
-		}
-		savedRO := len(g.ro)
-		savedVars := len(g.vars)
-		g.ro = append(g.ro, idx)
-		for s := 0; s <= n; s++ {
-			g.stmt(depth - 1)
-		}
-		g.ro = g.ro[:savedRO]
-		g.vars = g.vars[:savedVars] // block-scoped declarations
-		g.sb.WriteString("}\n")
-	case 5: // conditional
-		if len(g.vars) == 0 {
-			g.stmt(depth)
-			return
-		}
-		fmt.Fprintf(&g.sb, "if (%s %s %s) { %s = %s; }\n",
-			g.pick(g.vars), g.pick([]string{"<", "<=", ">", ">=", "==", "!="}),
-			g.intExpr(1), g.pick(g.vars), g.intExpr(1))
-	case 6: // print
-		if len(g.vars) > 0 {
-			fmt.Fprintf(&g.sb, "print(%s);\n", g.pick(g.vars))
-		} else {
-			fmt.Fprintf(&g.sb, "print(%s);\n", g.intExpr(1))
-		}
-	}
-}
-
+// generate delegates to the shared coverage-seeking generator in
+// internal/progen, which stresses narrow widths far harder than the local
+// generator it replaced: byte/short/char helper parameters and returns,
+// short locals and loop counters, chained casts, narrow array index
+// arithmetic and long/double checksum consumers.
 func generate(seed int64) string {
-	g := &progGen{r: rand.New(rand.NewSource(seed))}
-	g.sb.WriteString("static int seed = ")
-	fmt.Fprintf(&g.sb, "%d;\n", g.r.Int31())
-	g.sb.WriteString(`int rnd() { seed = seed * 1103515245 + 12345; return (seed >>> 8) & 0xffff; }
-void main() {
-	int[] a = new int[32];
-	byte[] b = new byte[64];
-	for (int i = 0; i < 32; i++) { a[i] = rnd() - 32768; }
-	for (int i = 0; i < 64; i++) { b[i] = (byte) rnd(); }
-`)
-	nstmt := 4 + g.r.Intn(10)
-	for s := 0; s < nstmt; s++ {
-		g.stmt(2)
-	}
-	// Deterministic epilogue: observable checksums through full-register
-	// consumers.
-	g.sb.WriteString(`
-	int cs = 0;
-	for (int i = 0; i < 32; i++) { cs = cs * 31 + a[i]; }
-	for (int i = 0; i < 64; i++) { cs = cs * 31 + b[i]; }
-	print(cs);
-	long lcs = cs;
-	print(lcs * 2654435761L);
-	double d = cs;
-	print(d * 0.125);
-}
-`)
-	return g.sb.String()
+	return progen.MiniJava(seed, progen.Config{})
 }
 
 func execLimited(res *jit.Result) (*interp.Result, error) {
@@ -178,6 +37,37 @@ func FuzzMiniJava(f *testing.F) {
 	}
 	f.Add("void main() { print(1); }")
 	f.Add("static long g = -1; void main() { int x = (int) g; print(x); }")
+	// Array indexing through a narrow value: the address computation needs
+	// the index extension, so elimination must take the just_extended path
+	// rather than deleting it.
+	f.Add(`void main() {
+	int[] a = new int[32];
+	byte i = (byte) 200;
+	a[i & 31] = 7;
+	short s = (short) 70000;
+	a[(s ^ 70000) & 31] = a[i & 31] + 1;
+	print(a[8]); print(a[4]);
+}`)
+	// Chained same-register extensions: (short)(byte)x lowers to two
+	// back-to-back ext instructions on one register; the second must not be
+	// considered redundant with the first in either direction.
+	f.Add(`void main() {
+	int x = 70000;
+	short s = (short)(byte) x;
+	int y = (byte)(short) x;
+	int z = (char)(byte) x;
+	print(s); print(y); print(z);
+}`)
+	// Narrow loop counters: the increment is a 16-bit add whose result
+	// feeds the back-edge compare, keeping a loop-carried truncation live
+	// across iterations.
+	f.Add(`void main() {
+	int cs = 0;
+	for (short s = 0; s < 300; s++) { cs = cs * 31 + s; }
+	short t = 32760;
+	for (; t < 32767; t++) { cs = cs + t; }
+	print(cs); print(t);
+}`)
 	f.Fuzz(func(t *testing.T, src string) {
 		cu, err := Compile(src)
 		if err != nil {

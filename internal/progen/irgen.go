@@ -1,0 +1,334 @@
+package progen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"signext/internal/ir"
+)
+
+// irGen assembles random 32-bit-form IR programs directly through
+// ir.Builder, reaching shapes the MiniJava lowerer never emits: redundant
+// same-register extension chains, explicit narrow global traffic, and
+// hand-placed loop-carried truncations. The discipline that keeps every
+// program valid:
+//
+//   - loops are counted: the counter register is incremented exactly once
+//     per iteration and is otherwise read-only, so execution terminates;
+//   - array indices are masked with len-1 (lengths are powers of two), so
+//     no bounds trap and no wild effective address;
+//   - divisors are OR-ed with 1, so they are odd and never zero;
+//   - values defined inside a branch arm or loop body leave the pools when
+//     the scope closes, so every use is dominated by its definition;
+//   - narrow call arguments are explicitly sign-extended at the call site
+//     and helpers return width-32 values, matching the frontend's
+//     "parameters and returns arrive extended" convention.
+type irGen struct {
+	r   *rand.Rand
+	cfg Config
+	b   *ir.Builder
+
+	p32  []ir.Reg // int32-class values, defined on every path to here
+	p64  []ir.Reg // int64-class values
+	ro   []ir.Reg // readable but never mutated (live loop counters)
+	arrs []irArr
+	fns  []irHelper
+}
+
+type irArr struct {
+	reg ir.Reg
+	w   ir.Width
+	n   int64 // power of two
+}
+
+type irHelper struct {
+	name   string
+	widths []ir.Width
+}
+
+func (g *irGen) pick32() ir.Reg {
+	all := append(append([]ir.Reg{}, g.p32...), g.ro...)
+	return all[g.r.Intn(len(all))]
+}
+
+// mut32 returns a register that may be redefined (never a live counter).
+func (g *irGen) mut32() ir.Reg { return g.p32[g.r.Intn(len(g.p32))] }
+
+func (g *irGen) pick64() ir.Reg {
+	if len(g.p64) == 0 || g.r.Intn(4) == 0 {
+		l := g.b.Mov(ir.W64, g.pick32()) // widening copy, frontend-style
+		g.p64 = append(g.p64, l)
+	}
+	return g.p64[g.r.Intn(len(g.p64))]
+}
+
+func (g *irGen) narrowW() ir.Width {
+	return []ir.Width{ir.W8, ir.W16, ir.W32, ir.W32}[g.r.Intn(4)]
+}
+
+// bin emits d = x op y into a fresh register.
+func (g *irGen) bin(op ir.Op, w ir.Width, x, y ir.Reg) ir.Reg {
+	d := g.b.Fn.NewReg()
+	g.b.OpTo(op, w, d, x, y)
+	return d
+}
+
+var binOps = []ir.Op{ir.OpAdd, ir.OpSub, ir.OpMul, ir.OpAnd, ir.OpOr, ir.OpXor}
+
+// loop emits a counted loop running body bound times. The counter is pushed
+// to the read-only pool for the body's duration and to p32 afterwards (its
+// final value is a perfectly good operand). Pools are scoped to the body.
+func (g *irGen) loop(bound int64, body func(counter ir.Reg)) {
+	b := g.b
+	i := b.Const(ir.W32, 0)
+	limit := b.Const(ir.W32, bound)
+	one := b.Const(ir.W32, 1)
+	head, bodyB, exit := b.NewBlock(), b.NewBlock(), b.NewBlock()
+	b.Jmp(head)
+	b.SetBlock(head)
+	b.Br(ir.W32, ir.CondLT, i, limit, bodyB, exit)
+	b.SetBlock(bodyB)
+	saved32, saved64, savedRO := len(g.p32), len(g.p64), len(g.ro)
+	g.ro = append(g.ro, i)
+	body(i)
+	g.p32, g.p64, g.ro = g.p32[:saved32], g.p64[:saved64], g.ro[:savedRO]
+	b.OpTo(ir.OpAdd, ir.W32, i, i, one)
+	b.Jmp(head)
+	b.SetBlock(exit)
+	g.p32 = append(g.p32, i)
+}
+
+// stmt emits one random statement; depth bounds nesting.
+func (g *irGen) stmt(depth int) {
+	b := g.b
+	switch g.r.Intn(12) {
+	case 0: // narrow binary op
+		w := g.narrowW()
+		g.p32 = append(g.p32, g.bin(binOps[g.r.Intn(len(binOps))], w, g.pick32(), g.pick32()))
+	case 1: // 64-bit binary op
+		d := g.bin(binOps[g.r.Intn(len(binOps))], ir.W64, g.pick64(), g.pick64())
+		g.p64 = append(g.p64, d)
+	case 2: // same-register extension chain: redundant-ext fodder
+		t := b.Mov(ir.W32, g.pick32())
+		b.Ext([]ir.Width{ir.W8, ir.W16, ir.W32}[g.r.Intn(3)], t)
+		if g.r.Intn(2) == 0 {
+			b.Ext([]ir.Width{ir.W8, ir.W16, ir.W32}[g.r.Intn(3)], t)
+		}
+		g.p32 = append(g.p32, t)
+	case 3: // array load; narrow loads get the frontend's explicit extension
+		a := g.arrs[g.r.Intn(len(g.arrs))]
+		idx := g.bin(ir.OpAnd, ir.W32, g.pick32(), b.Const(ir.W32, a.n-1))
+		v := b.ArrLoad(a.w, false, a.reg, idx)
+		if a.w == ir.W8 || a.w == ir.W16 {
+			b.Ext(a.w, v)
+		}
+		g.p32 = append(g.p32, v)
+	case 4: // array store (truncating for narrow element widths)
+		a := g.arrs[g.r.Intn(len(g.arrs))]
+		idx := g.bin(ir.OpAnd, ir.W32, g.pick32(), b.Const(ir.W32, a.n-1))
+		b.ArrStore(a.w, false, a.reg, idx, g.pick32())
+	case 5: // global traffic
+		cell := g.r.Intn(4)
+		w := g.narrowW()
+		if g.r.Intn(2) == 0 {
+			b.StoreG(w, cell, g.pick32())
+		} else {
+			v := b.LoadG(w, cell)
+			if w != ir.W64 {
+				b.Ext(w, v)
+			}
+			g.p32 = append(g.p32, v)
+		}
+	case 6: // diamond mutating an existing register on both arms
+		tgt := g.mut32()
+		x, y := g.pick32(), g.pick32()
+		thenB, elsB, join := b.NewBlock(), b.NewBlock(), b.NewBlock()
+		conds := []ir.Cond{ir.CondEQ, ir.CondNE, ir.CondLT, ir.CondLE, ir.CondGT, ir.CondGE}
+		b.Br(ir.W32, conds[g.r.Intn(len(conds))], x, y, thenB, elsB)
+		b.SetBlock(thenB)
+		b.OpTo(binOps[g.r.Intn(len(binOps))], g.narrowW(), tgt, tgt, g.pick32())
+		b.Jmp(join)
+		b.SetBlock(elsB)
+		b.ConstTo(ir.W32, tgt, edgeConsts[g.r.Intn(len(edgeConsts))])
+		b.Jmp(join)
+		b.SetBlock(join)
+	case 7: // counted loop with a loop-carried narrow accumulator
+		if depth <= 0 {
+			g.stmt(0)
+			return
+		}
+		acc := b.Const(ir.W32, int64(g.r.Intn(100)))
+		w := []ir.Width{ir.W8, ir.W16}[g.r.Intn(2)]
+		g.loop(int64(2+g.r.Intn(10)), func(ir.Reg) {
+			b.OpTo(ir.OpAdd, w, acc, acc, g.pick32())
+			b.Ext(w, acc) // the value stays a clean narrow across iterations
+			if g.r.Intn(2) == 0 {
+				g.stmt(depth - 1)
+			}
+		})
+		g.p32 = append(g.p32, acc)
+	case 8: // helper call: narrow args are extended at the call site
+		if len(g.fns) == 0 {
+			g.stmt(depth)
+			return
+		}
+		h := g.fns[g.r.Intn(len(g.fns))]
+		args := make([]ir.Reg, len(h.widths))
+		for k, w := range h.widths {
+			v := g.pick32()
+			if w == ir.W8 || w == ir.W16 {
+				t := b.Fn.NewReg()
+				b.ExtTo(w, t, v)
+				v = t
+			}
+			args[k] = v
+		}
+		g.p32 = append(g.p32, b.Call(h.name, ir.W32, false, args...))
+	case 9: // guarded division: OR 1 makes the divisor odd, hence nonzero
+		w := []ir.Width{ir.W32, ir.W32, ir.W64}[g.r.Intn(3)]
+		op := []ir.Op{ir.OpDiv, ir.OpRem}[g.r.Intn(2)]
+		if w == ir.W64 {
+			d := g.bin(ir.OpOr, ir.W64, g.pick64(), b.Const(ir.W64, 1))
+			g.p64 = append(g.p64, g.bin(op, ir.W64, g.pick64(), d))
+		} else {
+			d := g.bin(ir.OpOr, ir.W32, g.pick32(), b.Const(ir.W32, 1))
+			g.p32 = append(g.p32, g.bin(op, ir.W32, g.pick32(), d))
+		}
+	case 10: // shift by an edge amount (the interpreter masks mod width)
+		w := g.narrowW()
+		amt := b.Const(ir.W32, edgeShifts[g.r.Intn(len(edgeShifts))])
+		op := []ir.Op{ir.OpShl, ir.OpAShr, ir.OpLShr}[g.r.Intn(3)]
+		g.p32 = append(g.p32, g.bin(op, w, g.pick32(), amt))
+	case 11: // unary / print
+		switch g.r.Intn(4) {
+		case 0:
+			d := b.Fn.NewReg()
+			b.Op1To(ir.OpNeg, g.narrowW(), d, g.pick32())
+			g.p32 = append(g.p32, d)
+		case 1:
+			d := b.Fn.NewReg()
+			b.Op1To(ir.OpNot, g.narrowW(), d, g.pick32())
+			g.p32 = append(g.p32, d)
+		case 2:
+			g.p32 = append(g.p32, b.Zext(ir.W16, g.pick32())) // char-style
+		default:
+			b.Print(ir.W32, g.pick32())
+		}
+	}
+}
+
+// helperFunc builds one small leaf function with narrow parameter widths.
+func (g *irGen) helperFunc(idx int) *ir.Func {
+	widths := make([]ir.Width, 1+g.r.Intn(3))
+	params := make([]ir.Param, len(widths))
+	for k := range widths {
+		widths[k] = []ir.Width{ir.W32, ir.W16, ir.W8}[g.r.Intn(3)]
+		params[k] = ir.Param{W: widths[k]}
+	}
+	hb := ir.NewFunc(fmt.Sprintf("h%d", idx), params...)
+	hb.Fn.RetW = ir.W32
+
+	outer := g.b
+	g.b = hb
+	saved32, saved64, savedRO := g.p32, g.p64, g.ro
+	g.p32, g.p64, g.ro = nil, nil, nil
+	for k := range widths {
+		g.ro = append(g.ro, hb.Param(k))
+	}
+	g.p32 = append(g.p32, hb.Const(ir.W32, edgeConsts[g.r.Intn(len(edgeConsts))]))
+	for s, n := 0, 1+g.r.Intn(3); s < n; s++ {
+		switch g.r.Intn(3) {
+		case 0:
+			w := g.narrowW()
+			g.p32 = append(g.p32, g.bin(binOps[g.r.Intn(len(binOps))], w, g.pick32(), g.pick32()))
+		case 1:
+			t := hb.Mov(ir.W32, g.pick32())
+			hb.Ext([]ir.Width{ir.W8, ir.W16}[g.r.Intn(2)], t)
+			g.p32 = append(g.p32, t)
+		case 2:
+			amt := hb.Const(ir.W32, edgeShifts[g.r.Intn(len(edgeShifts))])
+			g.p32 = append(g.p32, g.bin(ir.OpAShr, g.narrowW(), g.pick32(), amt))
+		}
+	}
+	ret := g.bin(ir.OpAdd, ir.W32, g.pick32(), g.pick32())
+	hb.Ret(ret)
+
+	fn := hb.Fn
+	g.b, g.p32, g.p64, g.ro = outer, saved32, saved64, savedRO
+	g.fns = append(g.fns, irHelper{name: fn.Name, widths: widths})
+	return fn
+}
+
+// IR returns a random, terminating, ir.Verify-clean 32-bit-form program
+// deterministically derived from seed. The entry function is "main".
+func IR(seed int64, cfg Config) *ir.Program {
+	cfg = cfg.withDefaults()
+	g := &irGen{r: rand.New(rand.NewSource(seed)), cfg: cfg}
+	prog := ir.NewProgram()
+	prog.NGlobals = 4
+
+	for i := 0; i < cfg.Funcs; i++ {
+		prog.AddFunc(g.helperFunc(i))
+	}
+
+	mb := ir.NewFunc("main")
+	g.b = mb
+
+	// Seed pools with edge constants so the very first statements already
+	// have operands at the interesting boundaries.
+	for _, v := range []int64{1, -1, 127, -32768, 2147483647, -2147483648} {
+		g.p32 = append(g.p32, mb.Const(ir.W32, v))
+	}
+	g.p64 = append(g.p64, mb.Const(ir.W64, 2654435761))
+
+	// Arrays of every integer element width, power-of-two lengths; filled by
+	// counted loops with a cheap linear-congruential pattern.
+	for _, aw := range []struct {
+		w ir.Width
+		n int64
+	}{{ir.W32, 32}, {ir.W16, 32}, {ir.W8, 64}} {
+		arr := mb.NewArr(aw.w, false, mb.Const(ir.W32, aw.n))
+		a := irArr{reg: arr, w: aw.w, n: aw.n}
+		g.arrs = append(g.arrs, a)
+		k := mb.Const(ir.W32, int64(g.r.Intn(5000)+257))
+		m := mb.Const(ir.W32, int64(g.r.Intn(1000))-500)
+		g.loop(aw.n, func(i ir.Reg) {
+			v := g.bin(ir.OpMul, ir.W32, i, k)
+			v = g.bin(ir.OpAdd, ir.W32, v, m)
+			mb.ArrStore(a.w, false, a.reg, i, v)
+		})
+	}
+
+	for s := 0; s < cfg.Stmts; s++ {
+		g.stmt(g.cfg.Depth)
+	}
+
+	// Epilogue: fold every array and global into one checksum and print it
+	// through full-register consumers, plus long and float projections.
+	cs := mb.Const(ir.W32, 0)
+	c31 := mb.Const(ir.W32, 31)
+	for _, a := range g.arrs {
+		g.loop(a.n, func(i ir.Reg) {
+			v := mb.ArrLoad(a.w, false, a.reg, i)
+			if a.w == ir.W8 || a.w == ir.W16 {
+				mb.Ext(a.w, v)
+			}
+			t := g.bin(ir.OpMul, ir.W32, cs, c31)
+			mb.OpTo(ir.OpAdd, ir.W32, cs, t, v)
+		})
+	}
+	for cell := 0; cell < 4; cell++ {
+		v := mb.LoadG(ir.W32, cell)
+		t := g.bin(ir.OpMul, ir.W32, cs, c31)
+		mb.OpTo(ir.OpAdd, ir.W32, cs, t, v)
+	}
+	mb.Print(ir.W32, cs)
+	l := mb.Mov(ir.W64, cs)
+	l = g.bin(ir.OpMul, ir.W64, l, g.p64[0])
+	mb.Print(ir.W64, l)
+	mb.FPrint(mb.FMul(mb.I2D(cs), mb.FConst(0.125)))
+	mb.Ret(ir.NoReg)
+
+	prog.AddFunc(mb.Fn)
+	return prog
+}

@@ -1,0 +1,312 @@
+package progen
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+)
+
+// mjGen generates random but terminating MiniJava programs exercising the
+// whole frontend surface: mixed-width arithmetic, casts and chained casts,
+// narrow (byte/short) locals and arrays, narrow-typed helper parameters,
+// bounded loops with int and short counters, guarded division, and the
+// INT_MIN / oversized-shift edge constants. Programs are deterministic per
+// seed and always terminate: loop counters are read-only names.
+type mjGen struct {
+	r       *rand.Rand
+	sb      strings.Builder
+	cfg     Config
+	loopID  int
+	vars    []string // assignable int locals in scope
+	shorts  []string // short locals (usable in int expressions via promotion)
+	bytes   []string // byte locals
+	ro      []string // read-only names (loop counters): never assigned
+	helpers []helper // callable helper functions
+	inMain  bool     // arrays a/b/c only exist in main
+}
+
+// helper describes a generated top-level function; params are MiniJava type
+// keywords, so a call site knows which cast each argument needs.
+type helper struct {
+	name   string
+	params []string
+	ret    string
+}
+
+func (g *mjGen) pick(ss []string) string { return ss[g.r.Intn(len(ss))] }
+
+// scalars returns every readable integer-valued name in scope.
+func (g *mjGen) scalars() []string {
+	all := append(append([]string{}, g.vars...), g.ro...)
+	all = append(all, g.shorts...)
+	return append(all, g.bytes...)
+}
+
+func (g *mjGen) constant() string {
+	switch g.r.Intn(3) {
+	case 0:
+		v := edgeConsts[g.r.Intn(len(edgeConsts))]
+		if v == -2147483648 {
+			return "(-2147483647 - 1)"
+		}
+		return fmt.Sprint(v)
+	case 1:
+		return fmt.Sprint(g.r.Int31n(200) - 100)
+	default:
+		return fmt.Sprint(g.r.Int31()) // large constants stress wrapping
+	}
+}
+
+func (g *mjGen) intExpr(depth int) string {
+	if depth <= 0 || g.r.Intn(3) == 0 {
+		switch g.r.Intn(6) {
+		case 0, 1:
+			return g.constant()
+		case 2, 3:
+			if all := g.scalars(); len(all) > 0 {
+				return g.pick(all)
+			}
+			return "7"
+		case 4:
+			if !g.inMain {
+				return g.constant()
+			}
+			switch g.r.Intn(3) {
+			case 0:
+				return fmt.Sprintf("a[%s & 31]", g.smallExpr())
+			case 1:
+				return fmt.Sprintf("b[%s & 63]", g.smallExpr())
+			default:
+				return fmt.Sprintf("c[%s & 31]", g.smallExpr())
+			}
+		default:
+			if call, ok := g.callExpr(); ok {
+				return call
+			}
+			return g.constant()
+		}
+	}
+	op := g.pick([]string{"+", "-", "*", "&", "|", "^", "<<", ">>", ">>>", "/", "%"})
+	x := g.intExpr(depth - 1)
+	y := g.intExpr(depth - 1)
+	switch op {
+	case "<<", ">>", ">>>":
+		if g.r.Intn(2) == 0 {
+			// Raw edge amounts; IR shifts mask the amount mod the width.
+			y = fmt.Sprint(edgeShifts[g.r.Intn(len(edgeShifts))])
+		} else {
+			y = fmt.Sprintf("(%s & 7)", y)
+		}
+	case "/", "%":
+		y = fmt.Sprintf("(%s | 1)", y) // odd, hence nonzero: no div-by-zero traps
+	}
+	e := fmt.Sprintf("(%s %s %s)", x, op, y)
+	switch g.r.Intn(10) {
+	case 0:
+		return "(byte)" + e
+	case 1:
+		return "(short)" + e
+	case 2:
+		return "(char)" + e
+	case 3:
+		return "(short)(byte)" + e // chained casts: back-to-back truncations
+	case 4:
+		return "(int)((long)" + e + " * 3L)"
+	}
+	return e
+}
+
+// callExpr builds a call to a random helper, casting each argument to the
+// parameter's declared type (MiniJava, like Java, has no implicit narrowing).
+func (g *mjGen) callExpr() (string, bool) {
+	if len(g.helpers) == 0 {
+		return "", false
+	}
+	h := g.helpers[g.r.Intn(len(g.helpers))]
+	args := make([]string, len(h.params))
+	for i, p := range h.params {
+		a := g.intExpr(1)
+		if p != "int" {
+			a = fmt.Sprintf("(%s)(%s)", p, a)
+		}
+		args[i] = a
+	}
+	return fmt.Sprintf("%s(%s)", h.name, strings.Join(args, ", ")), true
+}
+
+func (g *mjGen) smallExpr() string {
+	if all := g.scalars(); len(all) > 0 && g.r.Intn(2) == 0 {
+		return g.pick(all)
+	}
+	return fmt.Sprint(g.r.Int31n(64))
+}
+
+func (g *mjGen) stmt(depth int) {
+	switch g.r.Intn(10) {
+	case 0: // new int local
+		name := fmt.Sprintf("v%d", len(g.vars))
+		fmt.Fprintf(&g.sb, "int %s = %s;\n", name, g.intExpr(g.cfg.Depth))
+		g.vars = append(g.vars, name)
+	case 1: // new narrow local: the value is live across later statements
+		if g.r.Intn(2) == 0 {
+			name := fmt.Sprintf("s%d", len(g.shorts))
+			fmt.Fprintf(&g.sb, "short %s = (short)(%s);\n", name, g.intExpr(g.cfg.Depth))
+			g.shorts = append(g.shorts, name)
+		} else {
+			name := fmt.Sprintf("y%d", len(g.bytes))
+			fmt.Fprintf(&g.sb, "byte %s = (byte)(%s);\n", name, g.intExpr(g.cfg.Depth))
+			g.bytes = append(g.bytes, name)
+		}
+	case 2: // assignment / compound
+		if len(g.vars) == 0 {
+			g.stmt(depth)
+			return
+		}
+		v := g.pick(g.vars)
+		op := g.pick([]string{"=", "+=", "-=", "*=", "&=", "|=", "^="})
+		fmt.Fprintf(&g.sb, "%s %s %s;\n", v, op, g.intExpr(g.cfg.Depth))
+	case 3: // narrow reassignment: loop-carried truncation when inside a loop
+		if len(g.shorts) == 0 {
+			g.stmt(depth)
+			return
+		}
+		s := g.pick(g.shorts)
+		fmt.Fprintf(&g.sb, "%s = (short)(%s + %s);\n", s, s, g.intExpr(1))
+	case 4: // array stores (int, byte and short arrays; stores truncate)
+		if !g.inMain {
+			g.stmt(depth)
+			return
+		}
+		switch g.r.Intn(3) {
+		case 0:
+			fmt.Fprintf(&g.sb, "a[%s & 31] = %s;\n", g.smallExpr(), g.intExpr(g.cfg.Depth))
+		case 1:
+			fmt.Fprintf(&g.sb, "b[%s & 63] = (byte)(%s);\n", g.smallExpr(), g.intExpr(1))
+		default:
+			fmt.Fprintf(&g.sb, "c[%s & 31] = (short)(%s);\n", g.smallExpr(), g.intExpr(1))
+		}
+	case 5: // long accumulator update (int operand promotes); acc lives in main
+		if !g.inMain {
+			g.stmt(depth)
+			return
+		}
+		fmt.Fprintf(&g.sb, "acc = acc * 3L + (%s);\n", g.intExpr(1))
+	case 6: // bounded loop, int or short counter
+		if depth <= 0 {
+			g.stmt(0)
+			return
+		}
+		idx := fmt.Sprintf("k%d", g.loopID)
+		g.loopID++
+		ty := g.pick([]string{"int", "int", "short"})
+		bound := 3 + g.r.Intn(12)
+		if g.r.Intn(2) == 0 {
+			fmt.Fprintf(&g.sb, "for (%s %s = 0; %s < %d; %s++) {\n", ty, idx, idx, bound, idx)
+		} else {
+			fmt.Fprintf(&g.sb, "for (%s %s = %d; %s > 0; %s--) {\n", ty, idx, bound, idx, idx)
+		}
+		savedRO, savedV, savedS, savedB := len(g.ro), len(g.vars), len(g.shorts), len(g.bytes)
+		g.ro = append(g.ro, idx)
+		for s, n := 0, g.r.Intn(2); s <= n; s++ {
+			g.stmt(depth - 1)
+		}
+		// Block-scoped declarations disappear with the loop body.
+		g.ro, g.vars, g.shorts, g.bytes = g.ro[:savedRO], g.vars[:savedV], g.shorts[:savedS], g.bytes[:savedB]
+		g.sb.WriteString("}\n")
+	case 7: // conditional
+		if len(g.vars) == 0 {
+			g.stmt(depth)
+			return
+		}
+		fmt.Fprintf(&g.sb, "if (%s %s %s) { %s = %s; }\n",
+			g.pick(g.vars), g.pick([]string{"<", "<=", ">", ">=", "==", "!="}),
+			g.intExpr(1), g.pick(g.vars), g.intExpr(1))
+	case 8: // print: makes intermediate values observable
+		if all := g.scalars(); len(all) > 0 {
+			fmt.Fprintf(&g.sb, "print(%s);\n", g.pick(all))
+		} else {
+			fmt.Fprintf(&g.sb, "print(%s);\n", g.intExpr(1))
+		}
+	case 9: // call for effect
+		if call, ok := g.callExpr(); ok {
+			fmt.Fprintf(&g.sb, "print(%s);\n", call)
+		} else {
+			g.stmt(depth)
+		}
+	}
+}
+
+// genHelper emits one top-level helper with narrow parameter types; helper
+// bodies see only their parameters and locals, never main's arrays.
+func (g *mjGen) genHelper(i int) helper {
+	types := []string{"int", "short", "byte", "char"}
+	h := helper{name: fmt.Sprintf("h%d", i), ret: g.pick([]string{"int", "int", "short"})}
+	nparams := 1 + g.r.Intn(3)
+	decl := make([]string, nparams)
+	for p := 0; p < nparams; p++ {
+		ty := types[g.r.Intn(len(types))]
+		h.params = append(h.params, ty)
+		decl[p] = fmt.Sprintf("%s p%d", ty, p)
+	}
+	fmt.Fprintf(&g.sb, "%s %s(%s) {\n", h.ret, h.name, strings.Join(decl, ", "))
+	savedV, savedRO, savedS, savedB := g.vars, g.ro, g.shorts, g.bytes
+	g.vars, g.ro, g.shorts, g.bytes = nil, nil, nil, nil
+	for p := 0; p < nparams; p++ {
+		g.ro = append(g.ro, fmt.Sprintf("p%d", p))
+	}
+	for s, n := 0, g.r.Intn(3); s < n; s++ {
+		g.stmt(0)
+	}
+	ret := g.intExpr(g.cfg.Depth)
+	if h.ret == "short" {
+		ret = fmt.Sprintf("(short)(%s)", ret)
+	}
+	fmt.Fprintf(&g.sb, "return %s;\n}\n", ret)
+	g.vars, g.ro, g.shorts, g.bytes = savedV, savedRO, savedS, savedB
+	return h
+}
+
+// MiniJava returns a random, terminating, frontend-accepted MiniJava program
+// deterministically derived from seed.
+func MiniJava(seed int64, cfg Config) string {
+	cfg = cfg.withDefaults()
+	g := &mjGen{r: rand.New(rand.NewSource(seed)), cfg: cfg}
+	fmt.Fprintf(&g.sb, "static int seed = %d;\n", g.r.Int31())
+	g.sb.WriteString("int rnd() { seed = seed * 1103515245 + 12345; return (seed >>> 8) & 0xffff; }\n")
+	for i := 0; i < cfg.Funcs; i++ {
+		g.helpers = append(g.helpers, g.genHelper(i))
+	}
+	g.sb.WriteString(`void main() {
+	int[] a = new int[32];
+	byte[] b = new byte[64];
+	short[] c = new short[32];
+	long acc = 0;
+	for (int i = 0; i < 32; i++) { a[i] = rnd() - 32768; }
+	for (int i = 0; i < 64; i++) { b[i] = (byte) rnd(); }
+	for (int i = 0; i < 32; i++) { c[i] = (short) (rnd() * 3); }
+`)
+	g.inMain = true
+	for s := 0; s < cfg.Stmts; s++ {
+		g.stmt(2)
+	}
+	// Deterministic epilogue: observable checksums through full-register
+	// consumers, plus the long and double projections of the result.
+	g.sb.WriteString(`
+	int cs = 0;
+	for (int i = 0; i < 32; i++) { cs = cs * 31 + a[i]; }
+	for (int i = 0; i < 64; i++) { cs = cs * 31 + b[i]; }
+	for (int i = 0; i < 32; i++) { cs = cs * 31 + c[i]; }
+`)
+	for _, s := range g.scalars() {
+		fmt.Fprintf(&g.sb, "\tcs = cs * 31 + %s;\n", s)
+	}
+	g.sb.WriteString(`	print(cs);
+	print(acc);
+	long lcs = cs;
+	print(lcs * 2654435761L);
+	double d = cs;
+	print(d * 0.125);
+}
+`)
+	return g.sb.String()
+}

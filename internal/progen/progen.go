@@ -1,0 +1,54 @@
+// Package progen generates seeded, size-bounded random programs that stress
+// the sign extension elimination pipeline: narrow-width (i8/i16/i32)
+// arithmetic, array-index address computation, loop-carried truncations,
+// calls and returns through narrow parameter types, and INT_MIN/shift-amount
+// edge values.
+//
+// Two generators share one configuration:
+//
+//   - MiniJava emits frontend source text, exercising the whole stack from
+//     the parser down (the same shapes the native FuzzMiniJava corpus seeds).
+//   - IR emits well-formed 32-bit-form ir.Programs directly through
+//     ir.Builder, reaching IR shapes the MiniJava lowerer never produces
+//     (redundant same-register extension chains, explicit narrow global
+//     traffic, hand-placed loop-carried truncations).
+//
+// Both are deterministic per seed: the same (seed, Config) always yields the
+// same program, so every fuzz finding is reproducible from its seed alone.
+// Every generated program terminates by construction — loops are counted
+// with read-only bounds — and is accepted by the frontend / ir.Verify, so a
+// generation failure is itself a bug worth reporting.
+package progen
+
+// Config bounds the size of generated programs. The zero value selects
+// defaults suitable for high-throughput differential campaigns.
+type Config struct {
+	Stmts int // statements in the main body (default 10)
+	Depth int // maximum expression/nesting depth (default 2)
+	Funcs int // helper functions with narrow parameter types (default 2)
+}
+
+func (c Config) withDefaults() Config {
+	if c.Stmts <= 0 {
+		c.Stmts = 10
+	}
+	if c.Depth <= 0 {
+		c.Depth = 2
+	}
+	if c.Funcs < 0 {
+		c.Funcs = 0
+	} else if c.Funcs == 0 {
+		c.Funcs = 2
+	}
+	return c
+}
+
+// edgeConsts are the constants every width-sensitivity bug loves: zero, ±1,
+// the i8/i16/char boundaries, and the int32 extremes. MinInt32 is spelled
+// (-2147483647 - 1) in MiniJava sources because the literal's magnitude
+// overflows before the unary minus applies, exactly as in Java.
+var edgeConsts = []int64{0, 1, -1, 127, -128, 255, 32767, -32768, 65535, 2147483647, -2147483648}
+
+// edgeShifts includes amounts at and beyond the operand width: IR shift
+// semantics mask the amount mod width, so 32 and 33 exercise the wrap.
+var edgeShifts = []int64{0, 1, 7, 8, 15, 16, 31, 32, 33, 63}

@@ -1,0 +1,162 @@
+package vrange
+
+import (
+	"math"
+	"testing"
+
+	"signext/internal/cfg"
+	"signext/internal/chains"
+	"signext/internal/ir"
+)
+
+// analyze runs the fixpoint over a straight-line function assembled by
+// build, which returns the instruction whose destination range the test
+// inspects.
+func analyze(t *testing.T, mach ir.Machine, build func(b *ir.Builder) *ir.Instr) Range {
+	t.Helper()
+	b := ir.NewFunc("t")
+	ins := build(b)
+	b.Ret(ir.NoReg)
+	if err := b.Fn.Verify(); err != nil {
+		t.Fatalf("bad test function: %v\n%s", err, b.Fn.Format())
+	}
+	info := cfg.Compute(b.Fn)
+	ch := chains.Build(b.Fn, info)
+	a := Compute(b.Fn, ch, info, mach, 64)
+	r, ok := a.OfDefRange(ins)
+	if !ok {
+		t.Fatalf("no range computed for %s", ins)
+	}
+	return r
+}
+
+// contains reports interval membership (false for bottom).
+func contains(r Range, v int64) bool { return !r.IsBottom() && r.Lo <= v && v <= r.Hi }
+
+// TestNegationAtIntMin: negating a range touching the type minimum wraps
+// (-MinInt == MinInt in two's complement), so the transfer must widen to
+// full rather than produce the unrepresentable -MinInt.
+func TestNegationAtIntMin(t *testing.T) {
+	r := analyze(t, ir.IA64, func(b *ir.Builder) *ir.Instr {
+		x := b.Const(ir.W32, math.MinInt32)
+		return b.Op1To(ir.OpNeg, ir.W32, b.Fn.NewReg(), x)
+	})
+	if !contains(r, math.MinInt32) {
+		t.Errorf("neg.32 of MinInt32 wraps to MinInt32; range %v excludes it", r)
+	}
+	r = analyze(t, ir.IA64, func(b *ir.Builder) *ir.Instr {
+		x := b.Const(ir.W64, math.MinInt64)
+		return b.Op1To(ir.OpNeg, ir.W64, b.Fn.NewReg(), x)
+	})
+	if !contains(r, math.MinInt64) {
+		t.Errorf("neg.64 of MinInt64 wraps to MinInt64; range %v excludes it", r)
+	}
+	// Away from the boundary, negation is exact.
+	r = analyze(t, ir.IA64, func(b *ir.Builder) *ir.Instr {
+		x := b.Const(ir.W32, math.MinInt32+1)
+		return b.Op1To(ir.OpNeg, ir.W32, b.Fn.NewReg(), x)
+	})
+	if r != Const(math.MaxInt32) {
+		t.Errorf("neg.32 of MinInt32+1: got %v, want %v", r, Const(math.MaxInt32))
+	}
+}
+
+// TestShiftAmountEdges: the interpreter masks shift amounts with W-1, so an
+// amount >= W behaves as amount & (W-1). The transfer functions may widen,
+// but must never exclude the true runtime value.
+func TestShiftAmountEdges(t *testing.T) {
+	cases := []struct {
+		name    string
+		op      ir.Op
+		w       ir.Width
+		x, n    int64
+		runtime int64 // value the interpreter computes with masked amount
+	}{
+		{"shl32 by 32 is shl 0", ir.OpShl, ir.W32, 5, 32, 5},
+		{"shl32 by 33 is shl 1", ir.OpShl, ir.W32, 5, 33, 10},
+		{"shl32 by 31", ir.OpShl, ir.W32, 1, 31, math.MinInt32},
+		// A zero logical shift keeps the sign-normalized W32 value: the low
+		// 32 bits are unchanged and the Mode32 semantic value stays -120.
+		{"lshr32 by 32 is lshr 0", ir.OpLShr, ir.W32, -120, 32, -120},
+		{"lshr32 by 63 is lshr 31", ir.OpLShr, ir.W32, -1, 63, 1},
+		{"ashr32 by 32 is ashr 0", ir.OpAShr, ir.W32, -7, 32, -7},
+		{"ashr32 by 31", ir.OpAShr, ir.W32, math.MinInt32, 31, -1},
+		{"lshr64 by 63", ir.OpLShr, ir.W64, -1, 63, 1},
+		{"shl64 by 63", ir.OpShl, ir.W64, 1, 63, math.MinInt64},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			r := analyze(t, ir.IA64, func(b *ir.Builder) *ir.Instr {
+				x := b.Const(ir.W64, tc.x)
+				n := b.Const(ir.W64, tc.n)
+				return b.OpTo(tc.op, tc.w, b.Fn.NewReg(), x, n)
+			})
+			if !contains(r, tc.runtime) {
+				t.Errorf("%v.%d x=%d n=%d: range %v excludes runtime value %d",
+					tc.op, tc.w, tc.x, tc.n, r, tc.runtime)
+			}
+		})
+	}
+}
+
+// TestBottomAlgebra: bottom is the identity of Union, absorbing for
+// Intersect, and vacuously within everything.
+func TestBottomAlgebra(t *testing.T) {
+	r := Range{-5, 17}
+	if got := Bottom().Union(r); got != r {
+		t.Errorf("Bottom ∪ r = %v, want %v", got, r)
+	}
+	if got := r.Union(Bottom()); got != r {
+		t.Errorf("r ∪ Bottom = %v, want %v", got, r)
+	}
+	if !Bottom().Union(Bottom()).IsBottom() {
+		t.Error("Bottom ∪ Bottom is not bottom")
+	}
+	if !Bottom().Intersect(r).IsBottom() || !r.Intersect(Bottom()).IsBottom() {
+		t.Error("intersection with Bottom is not bottom")
+	}
+	if !(Range{10, 20}).Intersect(Range{30, 40}).IsBottom() {
+		t.Error("disjoint intersection is not bottom")
+	}
+	if !Bottom().Within(5, 4) || !Bottom().Within(math.MinInt64, math.MaxInt64) {
+		t.Error("Bottom is not vacuously within")
+	}
+	if Bottom().NonNeg() != true {
+		t.Error("Bottom.NonNeg should be vacuously true")
+	}
+}
+
+// TestWithinAtExtremes exercises Within where naive arithmetic on the bounds
+// would overflow.
+func TestWithinAtExtremes(t *testing.T) {
+	cases := []struct {
+		r      Range
+		lo, hi int64
+		want   bool
+	}{
+		{Full64(), math.MinInt64, math.MaxInt64, true},
+		{Full64(), math.MinInt64 + 1, math.MaxInt64, false},
+		{Full64(), math.MinInt64, math.MaxInt64 - 1, false},
+		{Const(math.MinInt64), math.MinInt64, math.MinInt64, true},
+		{Const(math.MaxInt64), math.MaxInt64, math.MaxInt64, true},
+		{Const(math.MaxInt64), math.MinInt64, math.MaxInt64 - 1, false},
+		{Range{math.MinInt64, 0}, math.MinInt64, 0, true},
+		{Range{math.MinInt64, 0}, -1, 0, false},
+		{Full32(), math.MinInt32, math.MaxInt32, true},
+		{Full32(), 0, math.MaxInt64, false},
+	}
+	for _, tc := range cases {
+		if got := tc.r.Within(tc.lo, tc.hi); got != tc.want {
+			t.Errorf("%v.Within(%d, %d) = %v, want %v", tc.r, tc.lo, tc.hi, got, tc.want)
+		}
+	}
+	if (Range{0, math.MaxInt32}).NonNeg() != true {
+		t.Error("[0, MaxInt32] should be NonNeg")
+	}
+	if (Range{0, math.MaxInt32 + 1}).NonNeg() {
+		t.Error("[0, MaxInt32+1] must not be NonNeg")
+	}
+	if (Range{-1, 10}).NonNeg() {
+		t.Error("[-1, 10] must not be NonNeg")
+	}
+}
