@@ -13,6 +13,7 @@
 //	benchtab -noprofile                  # static frequency estimates only
 //	benchtab -parallel 8                 # compile-driver worker count
 //	benchtab -compilebench -o BENCH_compile.json   # compile-time benchmark (JSON)
+//	benchtab -compilebench -cache -o BENCH_compile.json  # plus cold/warm cache pass
 //	benchtab -validate BENCH_compile.json          # sanity-check an artifact
 package main
 
@@ -45,6 +46,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 	parallel := flag.Int("parallel", 0, "compile-driver worker count (0 = all CPUs, 1 = sequential)")
 	compilebench := flag.Bool("compilebench", false, "run the compile-driver benchmark and emit the BENCH_compile.json artifact")
 	repeats := flag.Int("repeats", 3, "compile-benchmark timing repeats (minimum wall kept)")
+	useCache := flag.Bool("cache", false, "compile-benchmark: add a cold/warm compile-cache pass per workload")
+	cacheMB := flag.Int64("cache-mb", 64, "compile cache capacity in MiB (with -cache)")
 	validate := flag.String("validate", "", "validate an existing BENCH_compile.json artifact and exit")
 	if err := flag.Parse(args); err != nil {
 		return 2
@@ -75,6 +78,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 		fmt.Fprintf(stdout, "benchtab: %s OK: %d workloads, %s/%s, parallelism %d on %d CPUs, speedup %.2fx\n",
 			*validate, len(r.Workloads), r.Suite, r.Machine, r.Parallelism, r.NumCPU, r.Speedup)
+		if r.CacheEnabled {
+			fmt.Fprintf(stdout, "benchtab: cache: warm speedup %.2fx, hit rate %.2f, identity pass\n",
+				r.WarmSpeedup, r.CacheStats.HitRate())
+		}
 		return 0
 	}
 
@@ -100,6 +107,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		r, err := bench.CompileBench(workloads.All(), bench.CompileBenchOptions{
 			Machine: mach, UseProfile: !*noprofile,
 			Parallelism: *parallel, Repeats: *repeats,
+			Cache: *useCache, CacheBytes: *cacheMB << 20,
 		})
 		if err != nil {
 			fmt.Fprintln(stderr, "benchtab:", err)
@@ -117,6 +125,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 		fmt.Fprintf(stderr, "benchtab: compile speedup %.2fx at parallelism %d (%d CPUs)\n",
 			r.Speedup, r.Parallelism, r.NumCPU)
+		if r.CacheEnabled {
+			fmt.Fprintf(stderr, "benchtab: warm-start speedup %.2fx, hit rate %.2f, identity pass\n",
+				r.WarmSpeedup, r.CacheStats.HitRate())
+		}
 		return 0
 	}
 

@@ -9,6 +9,7 @@
 //	sxelim -asm prog.mj                 # print the lowered machine code
 //	sxelim -check prog.mj               # guarded pipeline + differential oracle
 //	sxelim -compare prog.mj             # dynamic counts under all variants
+//	sxelim -cache -cache-mb 128 prog.mj # content-addressed compile cache
 //	sxelim prog.ir                      # compile textual IR (ir.ParseProgram)
 //
 // Any failure — bad input, compile error, oracle divergence — exits with
@@ -91,6 +92,8 @@ func runMain(args []string, stdout, stderr io.Writer) error {
 	check := flag.Bool("check", false, "guarded pipeline: verify IR at phase boundaries and run the differential oracle")
 	budget := flag.Int("budget", 0, "per-function elimination work budget (0 = unlimited)")
 	parallel := flag.Int("parallel", 0, "compile-driver worker count (0 = all CPUs, 1 = sequential)")
+	useCache := flag.Bool("cache", false, "serve per-function compilations from a content-addressed compile cache")
+	cacheMB := flag.Int64("cache-mb", 64, "compile cache capacity in MiB (with -cache)")
 	if err := flag.Parse(args); err != nil {
 		return usageError(err.Error())
 	}
@@ -112,11 +115,16 @@ func runMain(args []string, stdout, stderr io.Writer) error {
 			return err
 		}
 	}
+	var cache *signext.Cache
+	if *useCache {
+		cache = signext.NewCache(*cacheMB << 20)
+	}
 	compile := func(o signext.Options) (*signext.Result, error) {
 		o.Checked = o.Checked || *check
 		o.CheckedRun = o.CheckedRun || *check
 		o.ElimBudget = *budget
 		o.Parallelism = *parallel
+		o.Cache = cache
 		res, err := func() (res *signext.Result, err error) {
 			if irProg != nil {
 				return signext.CompileProgram(irProg, o)
@@ -163,6 +171,7 @@ func runMain(args []string, stdout, stderr io.Writer) error {
 			fmt.Fprintf(stdout, "%-28s dyn ext32 %12d (%6.2f%%)  static %4d  cycles %12d\n",
 				vv, rr.DynamicExts, pct, res.StaticExts(), rr.Cycles)
 		}
+		printCacheStats(stderr, cache)
 		return nil
 	}
 
@@ -174,6 +183,7 @@ func runMain(args []string, stdout, stderr io.Writer) error {
 	}
 	fmt.Fprintf(stdout, "variant %s, machine %s: %d extensions eliminated, %d inserted, %d remain\n",
 		v, mach, res.Eliminated(), res.Inserted(), res.StaticExts())
+	printCacheStats(stderr, cache)
 	if *check {
 		fmt.Fprintln(stdout, "oracle: optimized output and extension counts check out against the baseline reference")
 	}
@@ -216,4 +226,15 @@ func runMain(args []string, stdout, stderr io.Writer) error {
 		fmt.Fprintf(stdout, "[dynamic 32-bit sign extensions: %d, cycles: %d]\n", rr.DynamicExts, rr.Cycles)
 	}
 	return nil
+}
+
+// printCacheStats summarizes compile-cache activity on stderr; a nil cache
+// prints nothing, so program output stays unchanged without -cache.
+func printCacheStats(stderr io.Writer, cache *signext.Cache) {
+	if cache == nil {
+		return
+	}
+	s := cache.Stats()
+	fmt.Fprintf(stderr, "sxelim: cache: %d hits, %d misses, %d evictions, %d entries, %d bytes\n",
+		s.Hits, s.Misses, s.Evictions, s.Entries, s.Bytes)
 }

@@ -7,6 +7,7 @@
 //	sxfuzz -seed 1 -count 2000                  # fixed-size campaign
 //	sxfuzz -seed 7 -duration 60s -minimize      # timed, write reproducers
 //	sxfuzz -seed 1 -count 200 -chaos            # fault-injection self-check
+//	sxfuzz -seed 1 -count 500 -cache            # add the cache-identity property
 package main
 
 import (
@@ -39,6 +40,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		repros   = fs.Int("repros", 0, "max reproducers to write (0 = default 3)")
 		out      = fs.String("out", "", "reproducer output directory (default internal/difftest/testdata)")
 		chaos    = fs.Bool("chaos", false, "fault-injection self-check: plant DropExt miscompiles, require the oracle to catch them")
+		cache    = fs.Bool("cache", false, "add the cache-identity property to the metamorphic set (warm compile-cache hits must be bit-identical to cold compiles)")
 		verbose  = fs.Bool("v", false, "log campaign progress to stderr")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -60,6 +62,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		MaxRepros:   *repros,
 		OutDir:      *out,
 	}
+	cfg.Check.Cache = *cache
 	switch *kind {
 	case "":
 	case "mj", "ir":

@@ -7,6 +7,7 @@ import (
 	"strings"
 	"time"
 
+	"signext/internal/codecache"
 	"signext/internal/interp"
 	"signext/internal/ir"
 	"signext/internal/jit"
@@ -21,6 +22,13 @@ type CompileBenchOptions struct {
 	UseProfile  bool
 	Parallelism int // worker count of the parallel leg; 0 = runtime.GOMAXPROCS(0)
 	Repeats     int // timing repeats per leg, minimum wall kept; 0 = 3
+
+	// Cache adds a cold/warm pass per workload: one compile against an empty
+	// compile cache (cold), then Repeats compiles against the now-populated
+	// cache with the minimum wall kept (warm), recording hit/miss counters,
+	// the warm-start speedup and a bit-identity check between the two.
+	Cache      bool
+	CacheBytes int64 // cache capacity; 0 = 64 MiB
 }
 
 // CompileBenchWorkload is one workload's compile measurement: the same
@@ -39,6 +47,16 @@ type CompileBenchWorkload struct {
 	// Phases is the per-function, per-phase telemetry of the parallel leg's
 	// final repeat — the compile-time trajectory record.
 	Phases []jit.PhaseRecord `json:"phases"`
+
+	// Cold/warm pass (present only when CompileBenchOptions.Cache is set): one
+	// compile against an empty cache, then Repeats fully-warm compiles with the
+	// minimum wall kept.
+	ColdWallNS     int64   `json:"cold_wall_ns,omitempty"`
+	WarmWallNS     int64   `json:"warm_wall_ns,omitempty"`
+	WarmSpeedup    float64 `json:"warm_speedup,omitempty"`    // ColdWallNS / WarmWallNS
+	CacheIdentical bool    `json:"cache_identical,omitempty"` // cold and warm bit-identical to the uncached legs
+	CacheHits      int     `json:"cache_hits,omitempty"`      // warm pass per-function hits
+	CacheMisses    int     `json:"cache_misses,omitempty"`    // warm pass misses (must be 0)
 }
 
 // CompileBenchResult is the BENCH_compile.json artifact: the compile-driver
@@ -54,6 +72,13 @@ type CompileBenchResult struct {
 	TotalSeqNS  int64                  `json:"total_seq_wall_ns"`
 	TotalParNS  int64                  `json:"total_par_wall_ns"`
 	Speedup     float64                `json:"speedup"` // TotalSeqNS / TotalParNS
+
+	// Cold/warm aggregates (present only when the compile cache was enabled).
+	CacheEnabled bool             `json:"cache_enabled,omitempty"`
+	TotalColdNS  int64            `json:"total_cold_wall_ns,omitempty"`
+	TotalWarmNS  int64            `json:"total_warm_wall_ns,omitempty"`
+	WarmSpeedup  float64          `json:"warm_speedup,omitempty"` // TotalColdNS / TotalWarmNS
+	CacheStats   *codecache.Stats `json:"cache_stats,omitempty"`  // counters summed over per-workload caches
 }
 
 // compileFingerprint captures everything that must not depend on the worker
@@ -65,6 +90,11 @@ func compileFingerprint(res *jit.Result) string {
 	}
 	fmt.Fprintf(&b, "stats=%+v static=%d\n", res.Stats, res.StaticExts)
 	for _, r := range res.Telemetry {
+		if r.Phase == jit.PhaseCache {
+			// Warm compiles add a lookup-cost record per function; it carries
+			// no correctness content and must not break warm/cold identity.
+			continue
+		}
 		fmt.Fprintf(&b, "tel %s %s %d %d %d %v\n", r.Func, r.Phase, r.Eliminated, r.Inserted, r.Dummies, r.Fallback)
 	}
 	for _, fb := range res.Fallbacks {
@@ -104,6 +134,12 @@ func CompileBench(ws []workloads.Workload, o CompileBenchOptions) (*CompileBench
 			}
 		}
 	}
+	cacheBytes := o.CacheBytes
+	if cacheBytes <= 0 {
+		cacheBytes = 64 << 20
+	}
+	var agg codecache.Stats
+	res.CacheEnabled = o.Cache
 	for _, w := range ws {
 		cu, err := minijava.Compile(w.Source)
 		if err != nil {
@@ -157,12 +193,56 @@ func CompileBench(ws []workloads.Workload, o CompileBenchOptions) (*CompileBench
 		if wl.ParWallNS > 0 {
 			wl.Speedup = float64(wl.SeqWallNS) / float64(wl.ParWallNS)
 		}
+		if o.Cache {
+			// Cold/warm pass: a fresh per-workload cache keeps the cold leg
+			// honestly cold even when workloads share identical functions.
+			cache := codecache.New(cacheBytes)
+			jo.Cache = cache
+			jo.Parallelism = par
+			cold, err := jit.Compile(cu.Prog, jo)
+			if err != nil {
+				return nil, fmt.Errorf("%s: cold compile: %w", w.Name, err)
+			}
+			if cold.CacheStats == nil || cold.CacheStats.Hits != 0 {
+				return nil, fmt.Errorf("%s: cold compile was not cold: %+v", w.Name, cold.CacheStats)
+			}
+			warm, warmWall, err := leg(par)
+			if err != nil {
+				return nil, fmt.Errorf("%s: warm compile: %w", w.Name, err)
+			}
+			jo.Cache = nil
+			wl.ColdWallNS = int64(cold.Timing.Wall)
+			wl.WarmWallNS = int64(warmWall)
+			if wl.WarmWallNS > 0 {
+				wl.WarmSpeedup = float64(wl.ColdWallNS) / float64(wl.WarmWallNS)
+			}
+			ref := compileFingerprint(pr)
+			wl.CacheIdentical = compileFingerprint(cold) == ref && compileFingerprint(warm) == ref
+			wl.CacheHits = warm.CacheStats.Hits
+			wl.CacheMisses = warm.CacheStats.Misses
+			res.TotalColdNS += wl.ColdWallNS
+			res.TotalWarmNS += wl.WarmWallNS
+			s := cache.Stats()
+			agg.Hits += s.Hits
+			agg.Misses += s.Misses
+			agg.Evictions += s.Evictions
+			agg.ParanoidRejects += s.ParanoidRejects
+			agg.Entries += s.Entries
+			agg.Bytes += s.Bytes
+			agg.CapacityBytes = s.CapacityBytes
+		}
 		res.TotalSeqNS += wl.SeqWallNS
 		res.TotalParNS += wl.ParWallNS
 		res.Workloads = append(res.Workloads, wl)
 	}
 	if res.TotalParNS > 0 {
 		res.Speedup = float64(res.TotalSeqNS) / float64(res.TotalParNS)
+	}
+	if o.Cache {
+		if res.TotalWarmNS > 0 {
+			res.WarmSpeedup = float64(res.TotalColdNS) / float64(res.TotalWarmNS)
+		}
+		res.CacheStats = &agg
 	}
 	return res, nil
 }
@@ -208,6 +288,25 @@ func (r *CompileBenchResult) Validate() error {
 			return fmt.Errorf("compilebench: %s: speedup %.4f inconsistent with walls %d/%d",
 				w.Name, w.Speedup, w.SeqWallNS, w.ParWallNS)
 		}
+		if r.CacheEnabled {
+			if !w.CacheIdentical {
+				return fmt.Errorf("compilebench: %s: cached compile NOT identical to uncached", w.Name)
+			}
+			if w.ColdWallNS <= 0 || w.WarmWallNS <= 0 {
+				return fmt.Errorf("compilebench: %s: missing cold/warm walls (cold=%d warm=%d)",
+					w.Name, w.ColdWallNS, w.WarmWallNS)
+			}
+			if w.CacheHits < 1 {
+				return fmt.Errorf("compilebench: %s: warm pass recorded no cache hits", w.Name)
+			}
+			if w.CacheMisses != 0 {
+				return fmt.Errorf("compilebench: %s: warm pass was not fully warm (%d misses)", w.Name, w.CacheMisses)
+			}
+			if !speedupConsistent(w.WarmSpeedup, w.ColdWallNS, w.WarmWallNS) {
+				return fmt.Errorf("compilebench: %s: warm speedup %.4f inconsistent with walls %d/%d",
+					w.Name, w.WarmSpeedup, w.ColdWallNS, w.WarmWallNS)
+			}
+		}
 	}
 	var sumSeq, sumPar int64
 	for _, w := range r.Workloads {
@@ -224,6 +323,28 @@ func (r *CompileBenchResult) Validate() error {
 	if !speedupConsistent(r.Speedup, r.TotalSeqNS, r.TotalParNS) {
 		return fmt.Errorf("compilebench: aggregate speedup %.4f inconsistent with totals %d/%d",
 			r.Speedup, r.TotalSeqNS, r.TotalParNS)
+	}
+	if r.CacheEnabled {
+		var sumCold, sumWarm int64
+		for _, w := range r.Workloads {
+			sumCold += w.ColdWallNS
+			sumWarm += w.WarmWallNS
+		}
+		if sumCold != r.TotalColdNS || sumWarm != r.TotalWarmNS {
+			return fmt.Errorf("compilebench: cold/warm totals %d/%d do not match workload sums %d/%d",
+				r.TotalColdNS, r.TotalWarmNS, sumCold, sumWarm)
+		}
+		if !speedupConsistent(r.WarmSpeedup, r.TotalColdNS, r.TotalWarmNS) {
+			return fmt.Errorf("compilebench: warm speedup %.4f inconsistent with totals %d/%d",
+				r.WarmSpeedup, r.TotalColdNS, r.TotalWarmNS)
+		}
+		if r.CacheStats == nil {
+			return fmt.Errorf("compilebench: cache enabled but no cache stats recorded")
+		}
+		if r.CacheStats.Hits == 0 || r.CacheStats.Misses == 0 {
+			return fmt.Errorf("compilebench: implausible cache counters (hits=%d misses=%d): a cold/warm run has both",
+				r.CacheStats.Hits, r.CacheStats.Misses)
+		}
 	}
 	return nil
 }

@@ -53,6 +53,64 @@ func TestCompileBenchArtifact(t *testing.T) {
 	}
 }
 
+func TestCompileBenchCacheColdWarm(t *testing.T) {
+	res, err := CompileBench(miniSuite(), CompileBenchOptions{
+		Machine: ir.IA64, UseProfile: true, Parallelism: 2, Repeats: 2, Cache: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Validate(); err != nil {
+		t.Fatalf("cache-enabled result does not validate: %v", err)
+	}
+	if !res.CacheEnabled || res.CacheStats == nil {
+		t.Fatalf("cache run did not record cache data: %+v", res)
+	}
+	for _, w := range res.Workloads {
+		if !w.CacheIdentical {
+			t.Fatalf("%s: cached compile diverged from uncached", w.Name)
+		}
+		if w.CacheHits != w.Funcs || w.CacheMisses != 0 {
+			t.Fatalf("%s: warm pass not fully warm: hits=%d misses=%d funcs=%d",
+				w.Name, w.CacheHits, w.CacheMisses, w.Funcs)
+		}
+		if w.WarmSpeedup <= 1 {
+			t.Errorf("%s: warm compile not faster than cold (speedup %.2f)", w.Name, w.WarmSpeedup)
+		}
+	}
+	if res.WarmSpeedup <= 1 {
+		t.Errorf("aggregate warm speedup %.2f should exceed 1", res.WarmSpeedup)
+	}
+	if res.CacheStats.HitRate() <= 0 {
+		t.Errorf("suite hit rate missing: %+v", res.CacheStats)
+	}
+
+	// Cache-specific corruption is caught by Validate.
+	bad := *res
+	bad.Workloads = append([]CompileBenchWorkload(nil), res.Workloads...)
+	bad.Workloads[0].CacheIdentical = false
+	if bad.Validate() == nil {
+		t.Fatal("validation must fail on a non-identical cached compile")
+	}
+	bad = *res
+	bad.Workloads = append([]CompileBenchWorkload(nil), res.Workloads...)
+	bad.Workloads[0].CacheMisses = 1
+	if bad.Validate() == nil {
+		t.Fatal("validation must fail on a warm pass with misses")
+	}
+	bad = *res
+	bad.Workloads = append([]CompileBenchWorkload(nil), res.Workloads...)
+	bad.Workloads[0].WarmSpeedup *= 3
+	if bad.Validate() == nil {
+		t.Fatal("validation must fail on a warm speedup inconsistent with its walls")
+	}
+	bad = *res
+	bad.CacheStats = nil
+	if bad.Validate() == nil {
+		t.Fatal("validation must fail when cache stats are missing from a cache run")
+	}
+}
+
 func TestCompileBenchValidateCatchesCorruption(t *testing.T) {
 	res, err := CompileBench(miniSuite()[:1], CompileBenchOptions{
 		Machine: ir.IA64, Parallelism: 2, Repeats: 1,

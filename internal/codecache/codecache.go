@@ -1,0 +1,232 @@
+// Package codecache provides a content-addressed, concurrency-safe LRU cache
+// for per-function compilation results. Entries are keyed by a 256-bit
+// content hash (the caller composes it from the function's structural
+// fingerprint plus every configuration knob that influences compilation) and
+// bounded by total byte size, with least-recently-used eviction.
+//
+// The cache stores opaque payloads: the jit package defines what a cached
+// compilation result looks like, which keeps this package free of import
+// cycles and reusable for other memoized artifacts.
+package codecache
+
+import (
+	"container/list"
+	"crypto/sha256"
+	"encoding/binary"
+	"hash"
+	"sync"
+)
+
+// Key is a 256-bit content address.
+type Key [sha256.Size]byte
+
+// KeyWriter incrementally composes a Key from typed fields with unambiguous
+// framing. The zero value is not usable; call NewKeyWriter.
+type KeyWriter struct {
+	h   hash.Hash
+	buf [8]byte
+}
+
+// NewKeyWriter returns an empty key writer.
+func NewKeyWriter() *KeyWriter { return &KeyWriter{h: sha256.New()} }
+
+// Uint64 mixes an integer field into the key.
+func (w *KeyWriter) Uint64(v uint64) {
+	binary.LittleEndian.PutUint64(w.buf[:], v)
+	w.h.Write(w.buf[:])
+}
+
+// Int64 mixes a signed integer field into the key.
+func (w *KeyWriter) Int64(v int64) { w.Uint64(uint64(v)) }
+
+// Bool mixes a flag into the key.
+func (w *KeyWriter) Bool(b bool) {
+	if b {
+		w.Uint64(1)
+	} else {
+		w.Uint64(0)
+	}
+}
+
+// String mixes a length-prefixed string field into the key.
+func (w *KeyWriter) String(s string) {
+	w.Uint64(uint64(len(s)))
+	w.h.Write([]byte(s))
+}
+
+// Bytes mixes a length-prefixed byte field into the key.
+func (w *KeyWriter) Bytes(b []byte) {
+	w.Uint64(uint64(len(b)))
+	w.h.Write(b)
+}
+
+// Key finalizes and returns the composed key.
+func (w *KeyWriter) Key() Key {
+	var k Key
+	w.h.Sum(k[:0])
+	return k
+}
+
+// Stats is a point-in-time snapshot of cache counters. Hits/Misses/Evictions
+// and ParanoidRejects are cumulative over the cache's lifetime; Entries and
+// Bytes describe the current contents.
+type Stats struct {
+	Hits            uint64 `json:"hits"`
+	Misses          uint64 `json:"misses"`
+	Evictions       uint64 `json:"evictions"`
+	ParanoidRejects uint64 `json:"paranoid_rejects"`
+	Entries         int    `json:"entries"`
+	Bytes           int64  `json:"bytes"`
+	CapacityBytes   int64  `json:"capacity_bytes"`
+}
+
+// HitRate returns hits / (hits + misses), or 0 before any lookup.
+func (s Stats) HitRate() float64 {
+	total := s.Hits + s.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(total)
+}
+
+type entry struct {
+	key   Key
+	value any
+	size  int64
+}
+
+// Cache is a byte-size-bounded LRU map from Key to an opaque payload. All
+// methods are safe for concurrent use.
+type Cache struct {
+	mu              sync.Mutex
+	max             int64
+	bytes           int64
+	ll              *list.List // front = most recently used
+	index           map[Key]*list.Element
+	hits            uint64
+	misses          uint64
+	evictions       uint64
+	paranoidRejects uint64
+	paranoid        bool
+}
+
+// New returns a cache bounded at maxBytes of payload (as reported by callers
+// to Put). maxBytes <= 0 means a minimal 1-byte bound: every Put evicts, but
+// the cache still functions, which keeps degenerate configurations safe.
+func New(maxBytes int64) *Cache {
+	if maxBytes <= 0 {
+		maxBytes = 1
+	}
+	return &Cache{max: maxBytes, ll: list.New(), index: map[Key]*list.Element{}}
+}
+
+// SetParanoid toggles paranoid mode: consumers re-verify cached payloads on
+// every hit and call RejectParanoid on verification failure.
+func (c *Cache) SetParanoid(on bool) {
+	c.mu.Lock()
+	c.paranoid = on
+	c.mu.Unlock()
+}
+
+// Paranoid reports whether paranoid re-verification is enabled.
+func (c *Cache) Paranoid() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.paranoid
+}
+
+// Get returns the payload stored under k and marks it most recently used.
+func (c *Cache) Get(k Key) (any, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.index[k]; ok {
+		c.ll.MoveToFront(el)
+		c.hits++
+		return el.Value.(*entry).value, true
+	}
+	c.misses++
+	return nil, false
+}
+
+// Put stores v under k, charging size bytes against the bound, and evicts
+// least-recently-used entries until the contents fit. Re-putting an existing
+// key replaces its payload and size. A payload larger than the whole cache is
+// stored alone (the bound is interpreted as "at most one oversized entry").
+func (c *Cache) Put(k Key, v any, size int64) {
+	if size < 1 {
+		size = 1
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.index[k]; ok {
+		e := el.Value.(*entry)
+		c.bytes += size - e.size
+		e.value, e.size = v, size
+		c.ll.MoveToFront(el)
+	} else {
+		el := c.ll.PushFront(&entry{key: k, value: v, size: size})
+		c.index[k] = el
+		c.bytes += size
+	}
+	for c.bytes > c.max && c.ll.Len() > 1 {
+		c.evictOldestLocked()
+	}
+}
+
+// Remove drops the entry stored under k, if any.
+func (c *Cache) Remove(k Key) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.index[k]; ok {
+		c.removeLocked(el)
+	}
+}
+
+// RejectParanoid drops the entry stored under k and records a paranoid
+// verification rejection.
+func (c *Cache) RejectParanoid(k Key) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.paranoidRejects++
+	if el, ok := c.index[k]; ok {
+		c.removeLocked(el)
+	}
+}
+
+func (c *Cache) evictOldestLocked() {
+	el := c.ll.Back()
+	if el == nil {
+		return
+	}
+	c.removeLocked(el)
+	c.evictions++
+}
+
+func (c *Cache) removeLocked(el *list.Element) {
+	e := el.Value.(*entry)
+	c.ll.Remove(el)
+	delete(c.index, e.key)
+	c.bytes -= e.size
+}
+
+// Len returns the current number of entries.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}
+
+// Stats returns a consistent snapshot of the counters.
+func (c *Cache) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return Stats{
+		Hits:            c.hits,
+		Misses:          c.misses,
+		Evictions:       c.evictions,
+		ParanoidRejects: c.paranoidRejects,
+		Entries:         c.ll.Len(),
+		Bytes:           c.bytes,
+		CapacityBytes:   c.max,
+	}
+}

@@ -1,0 +1,155 @@
+package codecache
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func key(s string) Key {
+	w := NewKeyWriter()
+	w.String(s)
+	return w.Key()
+}
+
+func TestKeyWriterFraming(t *testing.T) {
+	a := NewKeyWriter()
+	a.String("ab")
+	a.String("c")
+	b := NewKeyWriter()
+	b.String("a")
+	b.String("bc")
+	if a.Key() == b.Key() {
+		t.Error("length framing failed: concatenation collision")
+	}
+	c := NewKeyWriter()
+	c.Uint64(1)
+	c.Bool(true)
+	d := NewKeyWriter()
+	d.Uint64(1)
+	d.Bool(true)
+	if c.Key() != d.Key() {
+		t.Error("key writer not deterministic")
+	}
+}
+
+func TestCacheBasic(t *testing.T) {
+	c := New(1000)
+	if _, ok := c.Get(key("a")); ok {
+		t.Fatal("hit on empty cache")
+	}
+	c.Put(key("a"), "va", 10)
+	v, ok := c.Get(key("a"))
+	if !ok || v.(string) != "va" {
+		t.Fatalf("Get = %v, %v", v, ok)
+	}
+	s := c.Stats()
+	if s.Hits != 1 || s.Misses != 1 || s.Entries != 1 || s.Bytes != 10 || s.CapacityBytes != 1000 {
+		t.Errorf("stats = %+v", s)
+	}
+	if got := s.HitRate(); got != 0.5 {
+		t.Errorf("hit rate = %v, want 0.5", got)
+	}
+	// Replacing a key adjusts bytes, not entry count.
+	c.Put(key("a"), "va2", 30)
+	if s := c.Stats(); s.Entries != 1 || s.Bytes != 30 {
+		t.Errorf("after replace: %+v", s)
+	}
+	c.Remove(key("a"))
+	if s := c.Stats(); s.Entries != 0 || s.Bytes != 0 {
+		t.Errorf("after remove: %+v", s)
+	}
+}
+
+func TestCacheLRUEviction(t *testing.T) {
+	c := New(30)
+	c.Put(key("a"), "a", 10)
+	c.Put(key("b"), "b", 10)
+	c.Put(key("c"), "c", 10)
+	// Touch a so b becomes the oldest.
+	if _, ok := c.Get(key("a")); !ok {
+		t.Fatal("a missing")
+	}
+	c.Put(key("d"), "d", 10) // over budget: evict b
+	if _, ok := c.Get(key("b")); ok {
+		t.Error("b should have been evicted (LRU)")
+	}
+	for _, k := range []string{"a", "c", "d"} {
+		if _, ok := c.Get(key(k)); !ok {
+			t.Errorf("%s unexpectedly evicted", k)
+		}
+	}
+	if s := c.Stats(); s.Evictions != 1 || s.Bytes != 30 {
+		t.Errorf("stats = %+v", s)
+	}
+}
+
+func TestCacheOversizedEntry(t *testing.T) {
+	c := New(10)
+	c.Put(key("big"), "big", 100)
+	if _, ok := c.Get(key("big")); !ok {
+		t.Error("oversized entry should be kept alone rather than thrashing")
+	}
+	c.Put(key("small"), "small", 1)
+	if s := c.Stats(); s.Bytes > 10 && s.Entries > 1 {
+		t.Errorf("bound not restored after oversized entry: %+v", s)
+	}
+}
+
+func TestCacheParanoid(t *testing.T) {
+	c := New(100)
+	if c.Paranoid() {
+		t.Error("paranoid should default off")
+	}
+	c.SetParanoid(true)
+	if !c.Paranoid() {
+		t.Error("SetParanoid(true) not visible")
+	}
+	c.Put(key("a"), "a", 1)
+	c.RejectParanoid(key("a"))
+	if _, ok := c.Get(key("a")); ok {
+		t.Error("rejected entry still present")
+	}
+	if s := c.Stats(); s.ParanoidRejects != 1 {
+		t.Errorf("paranoid rejects = %d, want 1", s.ParanoidRejects)
+	}
+}
+
+func TestCacheZeroCapacity(t *testing.T) {
+	c := New(0)
+	c.Put(key("a"), "a", 5)
+	if _, ok := c.Get(key("a")); !ok {
+		t.Error("degenerate capacity should still hold the latest entry")
+	}
+	c.Put(key("b"), "b", 5)
+	if _, ok := c.Get(key("a")); ok {
+		t.Error("old entry should be evicted under a 1-byte bound")
+	}
+}
+
+func TestCacheConcurrent(t *testing.T) {
+	c := New(1 << 12)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				k := key(fmt.Sprintf("k%d", i%37))
+				if v, ok := c.Get(k); ok {
+					if v.(int) != i%37 {
+						t.Errorf("corrupted payload: got %v want %d", v, i%37)
+						return
+					}
+				} else {
+					c.Put(k, i%37, 64)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	s := c.Stats()
+	if s.Bytes > s.CapacityBytes || s.Entries > 37 {
+		t.Errorf("invariants violated: %+v", s)
+	}
+}

@@ -351,6 +351,9 @@ func propPredicate(prop string, mach ir.Machine, c Config) Predicate {
 	switch prop {
 	case "parallel-identity", "budget", "fixpoint":
 		c.OracleOnly = false
+	case "cache-identity":
+		c.OracleOnly = false
+		c.Cache = true
 	default:
 		c.OracleOnly = true
 	}

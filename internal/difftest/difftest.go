@@ -15,6 +15,9 @@
 //     (the model pairs lbz with extsb);
 //   - parallel identity: Parallelism=1 and Parallelism=N produce
 //     bit-identical results;
+//   - cache identity (opt-in via Config.Cache): warm compile-cache hits are
+//     bit-identical to the cold compile that populated the cache, at every
+//     worker count;
 //   - budget monotonicity: Stats.Eliminated is monotone non-decreasing in
 //     ElimBudget (exhaustion falls a function back to Convert64-only);
 //   - fixpoint convergence: re-running Eliminate on its own output keeps
@@ -35,6 +38,7 @@ import (
 	"fmt"
 	"strings"
 
+	"signext/internal/codecache"
 	"signext/internal/extelim"
 	"signext/internal/guard"
 	"signext/internal/interp"
@@ -80,6 +84,11 @@ type Config struct {
 	Budgets     []int        // ascending ElimBudget ladder; default {300, 3000}
 	Parallelism int          // worker count of the parallel-identity leg (default 4)
 	FixpointK   int          // Eliminate iterations allowed to converge (default 4)
+
+	// Cache adds the cache-identity metamorphic property: compiling through a
+	// freshly populated compile cache (warm hit) must be bit-identical to the
+	// cold compile that populated it, at every worker count.
+	Cache bool
 
 	// OracleOnly restricts Check to the differential oracle and fallback
 	// properties — the fast mode for high-throughput campaigns; the
@@ -187,6 +196,37 @@ func Check(p *Program, cfg Config) (fails []Failure, skipped bool) {
 			fail("parallel-identity", mach, "parallel compile failed: %v", err)
 		} else if fingerprint(res) != fingerprint(pres) {
 			fail("parallel-identity", mach, "Parallelism=1 and Parallelism=%d results differ", cfg.Parallelism)
+		}
+
+		// Cache identity: a warm cache hit must reproduce the cold compile
+		// bit-for-bit at every worker count, and the cold cached compile must
+		// match the uncached one.
+		if cfg.Cache {
+			cache := codecache.New(64 << 20)
+			copts := opts
+			copts.Cache = cache
+			cold, cerr := jit.Compile(p.Prog, copts)
+			if cerr != nil {
+				fail("cache-identity", mach, "cold cached compile failed: %v", cerr)
+			} else if fingerprint(cold) != fingerprint(res) {
+				fail("cache-identity", mach, "cold compile through the cache differs from the uncached compile")
+			} else {
+				for _, par := range []int{1, cfg.Parallelism} {
+					wopts := copts
+					wopts.Parallelism = par
+					warm, werr := jit.Compile(p.Prog, wopts)
+					if werr != nil {
+						fail("cache-identity", mach, "warm compile (par=%d) failed: %v", par, werr)
+						continue
+					}
+					if warm.CacheStats == nil || warm.CacheStats.Misses != 0 || warm.CacheStats.Hits == 0 {
+						fail("cache-identity", mach, "warm compile (par=%d) was not fully warm: %+v", par, warm.CacheStats)
+					}
+					if fingerprint(warm) != fingerprint(cold) {
+						fail("cache-identity", mach, "warm cache hit (par=%d) differs from the cold compile", par)
+					}
+				}
+			}
 		}
 
 		// Budget monotonicity: a larger work budget never eliminates less.
@@ -300,6 +340,11 @@ func fingerprint(res *jit.Result) string {
 	}
 	fmt.Fprintf(&b, "stats=%+v static=%d\n", res.Stats, res.StaticExts)
 	for _, r := range res.Telemetry {
+		if r.Phase == jit.PhaseCache {
+			// Warm compiles record a per-function lookup-cost entry; it is
+			// bookkeeping, not output, and must not break cache identity.
+			continue
+		}
 		fmt.Fprintf(&b, "tel %s %s %d %d %d %v\n", r.Func, r.Phase, r.Eliminated, r.Inserted, r.Dummies, r.Fallback)
 	}
 	for _, fb := range res.Fallbacks {

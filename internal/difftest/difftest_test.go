@@ -24,6 +24,8 @@ func TestCheckGeneratedPrograms(t *testing.T) {
 			cfg := Config{}
 			if seed%3 != 0 {
 				cfg.OracleOnly = true // full metamorphic set on every third seed
+			} else {
+				cfg.Cache = true // heavy seeds also check cache identity
 			}
 			fails, skipped := Check(p, cfg)
 			if skipped {

@@ -11,6 +11,7 @@
 package freq
 
 import (
+	"fmt"
 	"sort"
 
 	"signext/internal/cfg"
@@ -21,6 +22,14 @@ import (
 // LoopScale is the assumed iteration count of one loop level in the static
 // estimate.
 const LoopScale = 10.0
+
+// Epsilon is the frequency floor for reachable blocks. Irreducible or
+// profile-starved CFGs can propagate exactly zero into a live block (every
+// acyclic predecessor unreached, or a one-sided profile assigning a branch
+// arm probability 0); without a floor, order determination would treat such
+// a block — possibly a live loop body — as the coldest region and could
+// leave the surviving extension in genuinely hot code.
+const Epsilon = 1e-9
 
 // Estimate holds per-block frequency estimates for one function.
 type Estimate struct {
@@ -72,17 +81,33 @@ func Compute(fn *ir.Func, info *cfg.Info, profile interp.Profile) *Estimate {
 			continue
 		}
 		sum := 0.0
-		for _, p := range b.Preds {
+	preds:
+		for i, p := range b.Preds {
+			// Duplicate edges appear once per edge in Preds; edgeMass already
+			// sums every p→b edge, so handle each distinct predecessor once.
+			for _, q := range b.Preds[:i] {
+				if q == p {
+					continue preds
+				}
+			}
 			if !info.Reached[p] {
 				continue
 			}
 			if info.Dominates(b, p) {
 				continue // back edge: handled by the loop multiplier
 			}
-			idx := succIndex(p, b)
-			sum += e.Freq[p] * prob(p, idx)
+			sum += e.Freq[p] * edgeMass(p, b, prob)
 		}
 		e.Freq[b] = sum
+	}
+	// Frequency floor: info.RPO holds exactly the blocks reachable from the
+	// entry, so this floors reached blocks (and only those) at Epsilon before
+	// loop scaling, preserving the relative ordering of nested zero-mass
+	// loop bodies.
+	for _, b := range info.RPO {
+		if e.Freq[b] == 0 {
+			e.Freq[b] = Epsilon
+		}
 	}
 	for _, b := range info.RPO {
 		d := info.Depth(b)
@@ -102,13 +127,25 @@ func Compute(fn *ir.Func, info *cfg.Info, profile interp.Profile) *Estimate {
 	return e
 }
 
-func succIndex(p, b *ir.Block) int {
+// edgeMass returns the total branch probability flowing from p to b, summing
+// over every p→b edge: a conditional branch with both arms targeting the same
+// block contributes the mass of both. A predecessor with no matching
+// successor edge is a corrupted CFG — that used to be silently treated as
+// edge 0, skewing the estimate; now it fails loudly.
+func edgeMass(p, b *ir.Block, prob func(*ir.Block, int) float64) float64 {
+	mass := 0.0
+	found := false
 	for k, s := range p.Succs {
 		if s == b {
-			return k
+			mass += prob(p, k)
+			found = true
 		}
 	}
-	return 0
+	if !found {
+		panic(fmt.Sprintf("freq: %s lists %s as a predecessor, but %s has no successor edge to %s",
+			b, p, p, b))
+	}
+	return mass
 }
 
 // HotFirst returns the function's blocks sorted from most to least frequently

@@ -1,11 +1,14 @@
 package freq
 
 import (
+	"math"
 	"testing"
 
 	"signext/internal/cfg"
 	"signext/internal/interp"
 	"signext/internal/ir"
+	"signext/internal/minijava"
+	"signext/internal/progen"
 )
 
 // buildIfInLoop: a loop whose body splits into a hot arm and a cold arm.
@@ -165,6 +168,160 @@ func TestHotFirstDeterministic(t *testing.T) {
 	for k := range a {
 		if a[k] != b[k] {
 			t.Fatal("HotFirst is not deterministic")
+		}
+	}
+}
+
+// TestDuplicateEdgeMass pins the edgeMass fix: a conditional branch with
+// both arms targeting the same block must deliver the block its entire
+// frequency. The pre-fix succIndex lookup resolved every duplicate edge to
+// edge 0, so the block received 2*P(edge0) instead of P(edge0)+P(edge1) —
+// here 0.14 instead of 0.70 — which ranked it below a genuinely colder
+// block in HotFirst order.
+func TestDuplicateEdgeMass(t *testing.T) {
+	b := ir.NewFunc("f")
+	entry := b.Block()
+	split := b.NewBlock()
+	colder := b.NewBlock()
+	dup := b.NewBlock()
+	exit := b.NewBlock()
+	x := b.Const(ir.W32, 0)
+	y := b.Const(ir.W32, 1)
+	b.Br(ir.W32, ir.CondLT, x, y, split, colder)
+	entryBr := entry.Term()
+	b.SetBlock(split)
+	b.Br(ir.W32, ir.CondEQ, x, y, dup, dup) // both arms to the same block
+	splitBr := split.Term()
+	b.SetBlock(colder)
+	b.Jmp(exit)
+	b.SetBlock(dup)
+	b.Jmp(exit)
+	b.SetBlock(exit)
+	b.Ret(ir.NoReg)
+	fn := b.Fn
+	if len(split.Succs) != 2 || split.Succs[0] != dup || split.Succs[1] != dup {
+		t.Fatal("test premise broken: duplicate edge not built")
+	}
+
+	profile := interp.Profile{"f": {
+		entryBr.ID: {7, 3}, // split 0.7, colder 0.3
+		splitBr.ID: {1, 9}, // dup edges carry 0.1 and 0.9
+	}}
+	info := cfg.Compute(fn)
+	e := Compute(fn, info, profile)
+
+	if got := e.Freq[dup]; math.Abs(got-0.7) > 1e-12 {
+		t.Errorf("dup-edge block frequency = %g, want 0.7 (mass of both edges)", got)
+	}
+	if got := e.Freq[colder]; math.Abs(got-0.3) > 1e-12 {
+		t.Errorf("colder block frequency = %g, want 0.3", got)
+	}
+	rank := map[*ir.Block]int{}
+	for i, blk := range e.HotFirst() {
+		rank[blk] = i
+	}
+	if rank[dup] > rank[colder] {
+		t.Errorf("HotFirst ranks dup-edge block (%g) below colder block (%g)",
+			e.Freq[dup], e.Freq[colder])
+	}
+}
+
+// TestMissingEdgePanics pins the loud-failure half of the edgeMass fix: a
+// predecessor list naming a block with no matching successor edge is a
+// corrupted CFG and must not be silently scored as edge 0.
+func TestMissingEdgePanics(t *testing.T) {
+	b := ir.NewFunc("f")
+	entry := b.Block()
+	a := b.NewBlock()
+	other := b.NewBlock()
+	x := b.Const(ir.W32, 0)
+	b.Br(ir.W32, ir.CondLT, x, x, a, other)
+	b.SetBlock(a)
+	b.Ret(ir.NoReg)
+	b.SetBlock(other)
+	b.Ret(ir.NoReg)
+	_ = entry
+	// Corrupt: other claims a as predecessor, but a has no edge to it.
+	other.Preds = append(other.Preds, a)
+	info := cfg.Compute(b.Fn)
+	defer func() {
+		if recover() == nil {
+			t.Error("Compute silently accepted a pred with no matching successor edge")
+		}
+	}()
+	Compute(b.Fn, info, nil)
+}
+
+// TestEpsilonFloorProfileStarved pins the frequency floor: a branch arm the
+// profile never took used to propagate exactly zero into live blocks — here
+// a reachable loop body — making order determination treat them as the
+// coldest code in the function.
+func TestEpsilonFloorProfileStarved(t *testing.T) {
+	b := ir.NewFunc("f")
+	entry := b.Block()
+	head := b.NewBlock()
+	body := b.NewBlock()
+	exit := b.NewBlock()
+	x := b.Const(ir.W32, 0)
+	y := b.Const(ir.W32, 1)
+	b.Br(ir.W32, ir.CondLT, x, y, head, exit)
+	entryBr := entry.Term()
+	b.SetBlock(head)
+	b.Br(ir.W32, ir.CondLT, x, y, body, exit)
+	b.SetBlock(body)
+	b.Jmp(head)
+	b.SetBlock(exit)
+	b.Ret(ir.NoReg)
+	fn := b.Fn
+
+	// The profile saw the entry branch 5 times and never took the loop arm.
+	profile := interp.Profile{"f": {entryBr.ID: {0, 5}}}
+	info := cfg.Compute(fn)
+	e := Compute(fn, info, profile)
+	for _, blk := range info.RPO {
+		if e.Freq[blk] <= 0 {
+			t.Errorf("reached block %s has frequency %g, want > 0", blk, e.Freq[blk])
+		}
+	}
+	// The floor is scaled by loop depth, so the never-entered loop body still
+	// ranks above the equally-starved straight-line code would.
+	if e.Freq[body] <= e.Freq[head]/LoopScale*0.99 {
+		t.Errorf("loop scaling lost on floored blocks: body=%g head=%g", e.Freq[body], e.Freq[head])
+	}
+}
+
+// TestProgenReachedBlocksPositive is the fuzz-shaped regression test for the
+// epsilon floor: across generated programs and real interpreter profiles,
+// every block reachable from the entry must receive a positive frequency.
+// Pre-fix, one-sided profiled branches in these seeds propagated exact
+// zeros into live blocks (including nested loop bodies).
+func TestProgenReachedBlocksPositive(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		for _, kind := range []string{"ir", "mj"} {
+			var prog *ir.Program
+			if kind == "ir" {
+				prog = progen.IR(seed, progen.Config{})
+			} else {
+				cu, err := minijava.Compile(progen.MiniJava(seed, progen.Config{}))
+				if err != nil {
+					t.Fatalf("seed %d: frontend rejected generated program: %v", seed, err)
+				}
+				prog = cu.Prog
+			}
+			ref, err := interp.Run(prog, "main", interp.Options{Mode: interp.Mode32, Profile: true})
+			if err != nil {
+				continue // a trapping program still profiles what it ran; skip
+			}
+			for _, fn := range prog.Funcs {
+				info := cfg.Compute(fn)
+				e := Compute(fn, info, ref.Profile)
+				for _, blk := range info.RPO {
+					if e.Freq[blk] <= 0 {
+						t.Errorf("seed %d kind %s fn %s: reached block %s has frequency %g",
+							seed, kind, fn.Name, blk, e.Freq[blk])
+					}
+				}
+			}
 		}
 	}
 }

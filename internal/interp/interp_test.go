@@ -327,3 +327,41 @@ func TestDummyAssertion(t *testing.T) {
 		t.Fatalf("want dummy violation, got %v", err)
 	}
 }
+
+// TestDivRemMinIntOverflowCorner pins the idiv/irem overflow corner in both
+// interpreter modes: MinInt32 / -1 must wrap to MinInt32 with correctly
+// sign-extended upper bits (Java semantics, and the sibling of the lshr
+// normalization bug), not trap and not keep the dirty 64-bit quotient
+// +2147483648. The 64-bit adds consume the full register, so a dirty
+// quotient would change the printed values. The 64-bit corner
+// MinInt64 / -1 must likewise wrap rather than fault.
+func TestDivRemMinIntOverflowCorner(t *testing.T) {
+	build := func(b *ir.Builder) {
+		x := b.Const(ir.W32, math.MinInt32)
+		y := b.Const(ir.W32, -1)
+		q := b.Div(ir.W32, x, y)
+		rem := b.Rem(ir.W32, x, y)
+		b.Print(ir.W32, q)
+		b.Print(ir.W32, rem)
+		// div.32/rem.32 define sign-extended results; a full-register
+		// consumer exposes any dirty upper bits.
+		z := b.Const(ir.W64, 0)
+		b.Print(ir.W64, b.Add(ir.W64, q, z))
+		b.Print(ir.W64, b.Add(ir.W64, rem, z))
+		x64 := b.Const(ir.W64, math.MinInt64)
+		y64 := b.Const(ir.W64, -1)
+		b.Print(ir.W64, b.Div(ir.W64, x64, y64))
+		b.Print(ir.W64, b.Rem(ir.W64, x64, y64))
+		b.Ret(ir.NoReg)
+	}
+	want := "-2147483648\n0\n-2147483648\n0\n-9223372036854775808\n0\n"
+	for _, mode := range []Mode{Mode32, Mode64} {
+		r, err := run(t, Options{Mode: mode}, build)
+		if err != nil {
+			t.Fatalf("mode %v: MinInt/-1 must wrap, not trap: %v", mode, err)
+		}
+		if r.Output != want {
+			t.Errorf("mode %v output:\n%q\nwant:\n%q", mode, r.Output, want)
+		}
+	}
+}

@@ -1,0 +1,125 @@
+package ir
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"hash"
+	"math"
+)
+
+// Fingerprint is a canonical structural hash of a function: two functions
+// with the same CFG shape, instruction stream and operand structure produce
+// the same fingerprint regardless of pointer identity, instruction ID
+// numbering or block allocation order. It is the content-address half of a
+// compile-cache key (codecache keys add the function name, variant and
+// configuration knobs on top).
+type Fingerprint [sha256.Size]byte
+
+// String renders the fingerprint as lowercase hex.
+func (fp Fingerprint) String() string { return hex.EncodeToString(fp[:]) }
+
+// fpWriter serializes IR facts into a hash with unambiguous framing.
+type fpWriter struct {
+	h   hash.Hash
+	buf [8]byte
+}
+
+func (w *fpWriter) u64(v uint64) {
+	binary.LittleEndian.PutUint64(w.buf[:], v)
+	w.h.Write(w.buf[:])
+}
+
+func (w *fpWriter) i64(v int64) { w.u64(uint64(v)) }
+
+func (w *fpWriter) str(s string) {
+	w.u64(uint64(len(s)))
+	w.h.Write([]byte(s))
+}
+
+func (w *fpWriter) bool(b bool) {
+	if b {
+		w.u64(1)
+	} else {
+		w.u64(0)
+	}
+}
+
+// Fingerprint computes the canonical structural hash of f.
+//
+// Canonicalization: blocks are numbered densely in depth-first traversal
+// order from the entry (successor edges in operand order), so Block.ID values
+// — which record allocation history, not structure — never reach the hash.
+// Unreachable blocks, which cannot affect execution but are still part of the
+// function body, are appended after the reachable ones in layout order.
+// Instruction IDs are likewise excluded; every other instruction field is
+// hashed with explicit framing so that distinct structures cannot collide by
+// concatenation.
+func (f *Func) Fingerprint() Fingerprint {
+	w := &fpWriter{h: sha256.New()}
+
+	w.u64(uint64(len(f.Params)))
+	for _, p := range f.Params {
+		w.u64(uint64(p.W))
+		w.bool(p.Float)
+		w.bool(p.Ref)
+	}
+	w.u64(uint64(f.RetW))
+	w.bool(f.RetF)
+	w.u64(uint64(f.NReg))
+
+	// Canonical block numbering: entry-first DFS over successor edges.
+	num := make(map[*Block]int, len(f.Blocks))
+	var order []*Block
+	var dfs func(b *Block)
+	dfs = func(b *Block) {
+		if _, ok := num[b]; ok {
+			return
+		}
+		num[b] = len(order)
+		order = append(order, b)
+		for _, s := range b.Succs {
+			dfs(s)
+		}
+	}
+	if len(f.Blocks) > 0 {
+		dfs(f.Entry())
+	}
+	for _, b := range f.Blocks { // unreachable leftovers, layout order
+		if _, ok := num[b]; !ok {
+			num[b] = len(order)
+			order = append(order, b)
+		}
+	}
+
+	w.u64(uint64(len(order)))
+	for _, b := range order {
+		w.u64(uint64(len(b.Instrs)))
+		for _, ins := range b.Instrs {
+			w.u64(uint64(ins.Op))
+			w.u64(uint64(ins.W))
+			w.u64(uint64(ins.Cond))
+			w.i64(int64(ins.Dst))
+			w.u64(uint64(ins.NSrcs))
+			for k := 0; k < int(ins.NSrcs); k++ {
+				w.i64(int64(ins.Srcs[k]))
+			}
+			w.i64(ins.Const)
+			w.u64(math.Float64bits(ins.F))
+			w.bool(ins.Float)
+			w.str(ins.Callee)
+			w.u64(uint64(len(ins.Args)))
+			for _, a := range ins.Args {
+				w.i64(int64(a))
+			}
+		}
+		w.u64(uint64(len(b.Succs)))
+		for _, s := range b.Succs {
+			w.u64(uint64(num[s]))
+		}
+	}
+
+	var fp Fingerprint
+	w.h.Sum(fp[:0])
+	return fp
+}

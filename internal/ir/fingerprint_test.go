@@ -1,0 +1,106 @@
+package ir
+
+import "testing"
+
+// fpDiamond builds a small diamond-CFG function. When permute is true the
+// non-entry blocks are allocated in reverse order (different Block.IDs and a
+// different layout order in Blocks), but the wiring and instruction streams
+// are structurally identical to the permute=false build.
+func fpDiamond(name string, permute bool) *Func {
+	b := NewFunc(name)
+	entry := b.Block()
+	var t, e, j *Block
+	if permute {
+		j = b.NewBlock()
+		e = b.NewBlock()
+		t = b.NewBlock()
+	} else {
+		t = b.NewBlock()
+		e = b.NewBlock()
+		j = b.NewBlock()
+	}
+	b.SetBlock(entry)
+	x := b.Const(W32, 1)
+	y := b.Const(W32, 2)
+	b.Br(W32, CondLT, x, y, t, e)
+	b.SetBlock(t)
+	tv := b.Const(W32, 7)
+	b.Print(W32, tv)
+	b.Jmp(j)
+	b.SetBlock(e)
+	ev := b.Const(W32, 9)
+	b.Print(W32, ev)
+	b.Jmp(j)
+	b.SetBlock(j)
+	b.Ret(NoReg)
+	return b.Fn
+}
+
+func TestFingerprintStable(t *testing.T) {
+	a := fpDiamond("f", false)
+	fp := a.Fingerprint()
+	if fp == (Fingerprint{}) {
+		t.Fatal("zero fingerprint")
+	}
+	if got := a.Fingerprint(); got != fp {
+		t.Error("fingerprint not deterministic across calls")
+	}
+	if got := a.Clone().Fingerprint(); got != fp {
+		t.Error("clone changed the fingerprint")
+	}
+	if got := fpDiamond("g", false).Fingerprint(); got != fp {
+		t.Error("function name leaked into the structural fingerprint")
+	}
+}
+
+func TestFingerprintBlockAllocationOrderIndependent(t *testing.T) {
+	a := fpDiamond("f", false)
+	b := fpDiamond("f", true)
+	// Sanity: the two builds really do differ in block IDs and layout.
+	if a.Blocks[1].ID == b.Blocks[1].ID && a.Blocks[1].Term().Op == b.Blocks[1].Term().Op {
+		t.Fatal("permuted build did not permute block allocation")
+	}
+	if a.Fingerprint() != b.Fingerprint() {
+		t.Error("fingerprint depends on block allocation order")
+	}
+}
+
+func TestFingerprintInstrIDIndependent(t *testing.T) {
+	a := fpDiamond("f", false)
+	b := fpDiamond("f", false)
+	// Burn instruction IDs mid-build equivalent: renumber b's instructions.
+	for _, blk := range b.Blocks {
+		for _, ins := range blk.Instrs {
+			ins.ID += 100
+		}
+	}
+	if a.Fingerprint() != b.Fingerprint() {
+		t.Error("fingerprint depends on instruction ID numbering")
+	}
+}
+
+func TestFingerprintSensitivity(t *testing.T) {
+	base := fpDiamond("f", false).Fingerprint()
+	mutate := func(name string, f func(*Func)) {
+		fn := fpDiamond("f", false)
+		f(fn)
+		if fn.Fingerprint() == base {
+			t.Errorf("%s: structural change did not change the fingerprint", name)
+		}
+	}
+	mutate("const value", func(fn *Func) { fn.Entry().Instrs[0].Const = 3 })
+	mutate("width", func(fn *Func) { fn.Entry().Instrs[0].W = W64 })
+	mutate("opcode", func(fn *Func) { fn.Blocks[1].Instrs[0].Op = OpNeg })
+	mutate("cond", func(fn *Func) { fn.Entry().Term().Cond = CondGE })
+	mutate("operand", func(fn *Func) { fn.Entry().Term().Srcs[0] = fn.Entry().Term().Srcs[1] })
+	mutate("edge order", func(fn *Func) {
+		s := fn.Entry().Succs
+		s[0], s[1] = s[1], s[0]
+	})
+	mutate("ret width", func(fn *Func) { fn.RetW = W32 })
+	mutate("extra instr", func(fn *Func) {
+		ins := fn.NewInstr(OpConst)
+		ins.W = W32
+		fn.Entry().InsertAt(0, ins)
+	})
+}

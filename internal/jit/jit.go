@@ -24,6 +24,7 @@ import (
 	"sync"
 	"time"
 
+	"signext/internal/codecache"
 	"signext/internal/extelim"
 	"signext/internal/guard"
 	"signext/internal/interp"
@@ -130,6 +131,20 @@ type Options struct {
 	// phase. With Parallelism above 1 the hook is called concurrently from
 	// worker goroutines and must be safe for that.
 	PhaseHook func(phase string, fn *ir.Func)
+
+	// Cache, when non-nil, memoizes per-function compilation results in a
+	// shared, concurrency-safe LRU. Entries are content-addressed on the
+	// function's structural fingerprint plus its name and every option that
+	// influences compilation (variant, machine, array bound, general-opts /
+	// verify / checked switches, elimination budget and the function's
+	// branch-profile signature). A hit installs a clone of the cached
+	// optimized function and replays its statistics, counter telemetry
+	// (walls zeroed; one "cache" record carries the true lookup cost) and
+	// fallback records, so warm results are bit-identical to cold ones. A
+	// non-nil PhaseHook bypasses the cache entirely. With
+	// Cache.SetParanoid(true) every hit is re-verified by the deep guard
+	// verifier; a failing entry is evicted and silently recompiled.
+	Cache *codecache.Cache
 }
 
 // parallelism resolves the worker count for a program with n functions.
@@ -212,6 +227,10 @@ type Result struct {
 	// sorted like Telemetry. The compiled code is still correct: the affected
 	// function runs its pre-phase (at worst Convert64-only) code.
 	Fallbacks []*guard.PhaseError
+
+	// CacheStats reports this compile's cache traffic plus a snapshot of the
+	// shared cache's cumulative counters. Nil when Options.Cache is nil.
+	CacheStats *CacheStats
 }
 
 // funcOutcome is everything one per-function pipeline produces. Workers fill
@@ -221,9 +240,12 @@ type funcOutcome struct {
 	stats      extelim.Stats
 	records    []PhaseRecord
 	fallbacks  []*guard.PhaseError
-	replace    *ir.Func // restored snapshot to install into Prog (fallback), nil if untouched
+	replace    *ir.Func // restored snapshot or cached clone to install into Prog, nil if untouched
 	fatal      error    // conversion or shallow-verifier failure: abort compile
 	staticExts int
+
+	cacheHit      bool // served from Options.Cache
+	cacheRejected bool // cached entry failed paranoid verification; recompiled
 }
 
 // compileFunc runs the per-function pipeline — conversion, general
@@ -484,7 +506,7 @@ func Compile(src *ir.Program, o Options) (*Result, error) {
 	outs := make([]funcOutcome, len(prog.Funcs))
 	if par := o.parallelism(len(prog.Funcs)); par <= 1 {
 		for i, fn := range prog.Funcs {
-			outs[i] = compileFunc(fn, o)
+			outs[i] = compileFuncCached(fn, o)
 		}
 	} else {
 		jobs := make(chan int)
@@ -494,7 +516,7 @@ func Compile(src *ir.Program, o Options) (*Result, error) {
 			go func() {
 				defer wg.Done()
 				for i := range jobs {
-					outs[i] = compileFunc(prog.Funcs[i], o)
+					outs[i] = compileFuncCached(prog.Funcs[i], o)
 				}
 			}()
 		}
@@ -526,6 +548,21 @@ func Compile(src *ir.Program, o Options) (*Result, error) {
 		res.StaticExts += out.staticExts
 	}
 	res.Stats.Remaining = res.StaticExts
+	if o.Cache != nil && o.PhaseHook == nil {
+		cs := &CacheStats{}
+		for i := range outs {
+			if outs[i].cacheHit {
+				cs.Hits++
+			} else {
+				cs.Misses++
+			}
+			if outs[i].cacheRejected {
+				cs.ParanoidRejects++
+			}
+		}
+		cs.Shared = o.Cache.Stats()
+		res.CacheStats = cs
+	}
 
 	// Sort by function name (ProgramScope sorts first; per-function phase
 	// order is preserved by stability), derive the Timing partition from the

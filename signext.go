@@ -16,6 +16,7 @@
 package signext
 
 import (
+	"signext/internal/codecache"
 	"signext/internal/interp"
 	"signext/internal/ir"
 	"signext/internal/jit"
@@ -83,7 +84,25 @@ type Options struct {
 	// ElimBudget caps the elimination phase's per-function analysis work;
 	// exhaustion disables the phase for that function. 0 means unlimited.
 	ElimBudget int
+
+	// Cache, when non-nil, serves per-function compilations from a shared
+	// content-addressed cache (see NewCache) and stores misses into it. Warm
+	// hits are bit-identical to the compile that populated the entry.
+	Cache *Cache
 }
+
+// Cache is a shared, concurrency-safe, content-addressed per-function
+// compilation cache with an LRU byte bound. One Cache may back any number of
+// concurrent compilations; entries are keyed on the function's structural
+// fingerprint plus every option that can change the compiled output.
+type Cache = codecache.Cache
+
+// NewCache creates a compilation cache bounded to maxBytes resident bytes
+// (estimated). maxBytes <= 0 yields a cache that stores at most one entry.
+func NewCache(maxBytes int64) *Cache { return codecache.New(maxBytes) }
+
+// CacheStats reports what Options.Cache did during one compilation.
+type CacheStats = jit.CacheStats
 
 // Fallback describes one optimizer phase that panicked, failed verification,
 // or exhausted its work budget and was therefore disabled for one function.
@@ -130,6 +149,11 @@ type PhaseRecord = jit.PhaseRecord
 // Telemetry returns the per-function, per-phase compile-time records, sorted
 // by function name. Their walls sum to exactly the compile work time.
 func (r *Result) Telemetry() []PhaseRecord { return r.res.Telemetry }
+
+// CacheStats reports this compile's cache hits and misses plus a snapshot of
+// the shared cache's cumulative counters. It returns nil when the compile ran
+// without a cache.
+func (r *Result) CacheStats() *CacheStats { return r.res.CacheStats }
 
 // Check runs the differential oracle against the Baseline-variant reference:
 // identical output and traps, non-increasing dynamic extension count. It
@@ -220,6 +244,7 @@ func CompileProgram(prog *ir.Program, o Options) (*Result, error) {
 		Parallelism: o.Parallelism,
 		Checked:     o.Checked || o.CheckedRun,
 		ElimBudget:  o.ElimBudget,
+		Cache:       o.Cache,
 	})
 	if err != nil {
 		return nil, err

@@ -126,3 +126,50 @@ func TestFacadeBudgetFallback(t *testing.T) {
 		t.Fatalf("fallback code diverged:\nref %q\ngot %q", ref, run.Output)
 	}
 }
+
+func TestFacadeCompileCache(t *testing.T) {
+	cache := signext.NewCache(64 << 20)
+	opts := signext.Options{
+		Variant: signext.VariantAll, Machine: signext.IA64,
+		WithProfile: true, Cache: cache,
+	}
+	cold, err := signext.CompileSource(apiSrc, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cs := cold.CacheStats()
+	if cs == nil || cs.Hits != 0 || cs.Misses == 0 {
+		t.Fatalf("first compile should be all misses, got %+v", cs)
+	}
+	warm, err := signext.CompileSource(apiSrc, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ws := warm.CacheStats()
+	if ws == nil || ws.Misses != 0 || ws.Hits != cs.Misses {
+		t.Fatalf("second compile should be all hits, got %+v", ws)
+	}
+	if warm.Format("sum") != cold.Format("sum") || warm.StaticExts() != cold.StaticExts() {
+		t.Fatal("warm compile differs from cold compile")
+	}
+	wr, err := warm.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cr, err := cold.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wr.Output != cr.Output || wr.DynamicExts != cr.DynamicExts {
+		t.Fatalf("warm execution diverged: %+v vs %+v", wr, cr)
+	}
+	uncached, err := signext.CompileSource(apiSrc, signext.Options{
+		Variant: signext.VariantAll, Machine: signext.IA64, WithProfile: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if uncached.CacheStats() != nil {
+		t.Fatal("compile without a cache reported cache stats")
+	}
+}
