@@ -14,6 +14,7 @@
 //	benchtab -parallel 8                 # compile-driver worker count
 //	benchtab -compilebench -o BENCH_compile.json   # compile-time benchmark (JSON)
 //	benchtab -compilebench -cache -o BENCH_compile.json  # plus cold/warm cache pass
+//	benchtab -compilebench -tiered -o BENCH_compile.json # plus tiered-runtime pass
 //	benchtab -validate BENCH_compile.json          # sanity-check an artifact
 package main
 
@@ -48,6 +49,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 	repeats := flag.Int("repeats", 3, "compile-benchmark timing repeats (minimum wall kept)")
 	useCache := flag.Bool("cache", false, "compile-benchmark: add a cold/warm compile-cache pass per workload")
 	cacheMB := flag.Int64("cache-mb", 64, "compile cache capacity in MiB (with -cache)")
+	useTiered := flag.Bool("tiered", false, "compile-benchmark: add a tiered-runtime pass per workload")
+	hotThreshold := flag.Int64("hot-threshold", 0, "tiered promotion threshold (0 = default)")
+	invocations := flag.Int("invocations", 0, "tiered invocations per workload (0 = default 4)")
 	validate := flag.String("validate", "", "validate an existing BENCH_compile.json artifact and exit")
 	if err := flag.Parse(args); err != nil {
 		return 2
@@ -82,6 +86,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 			fmt.Fprintf(stdout, "benchtab: cache: warm speedup %.2fx, hit rate %.2f, identity pass\n",
 				r.WarmSpeedup, r.CacheStats.HitRate())
 		}
+		if r.TieredEnabled {
+			fmt.Fprintf(stdout, "benchtab: tiered: %d tier-ups over %d invocations, steady-state speedup %.2fx, identity pass\n",
+				r.TotalTierUps, r.TieredInvocations, r.TierSpeedup)
+		}
 		return 0
 	}
 
@@ -108,6 +116,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 			Machine: mach, UseProfile: !*noprofile,
 			Parallelism: *parallel, Repeats: *repeats,
 			Cache: *useCache, CacheBytes: *cacheMB << 20,
+			Tiered: *useTiered, TieredInvocations: *invocations, HotThreshold: *hotThreshold,
 		})
 		if err != nil {
 			fmt.Fprintln(stderr, "benchtab:", err)
@@ -128,6 +137,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 		if r.CacheEnabled {
 			fmt.Fprintf(stderr, "benchtab: warm-start speedup %.2fx, hit rate %.2f, identity pass\n",
 				r.WarmSpeedup, r.CacheStats.HitRate())
+		}
+		if r.TieredEnabled {
+			fmt.Fprintf(stderr, "benchtab: tiered: %d tier-ups, steady-state speedup %.2fx, identity pass\n",
+				r.TotalTierUps, r.TierSpeedup)
 		}
 		return 0
 	}

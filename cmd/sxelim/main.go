@@ -10,6 +10,9 @@
 //	sxelim -check prog.mj               # guarded pipeline + differential oracle
 //	sxelim -compare prog.mj             # dynamic counts under all variants
 //	sxelim -cache -cache-mb 128 prog.mj # content-addressed compile cache
+//	sxelim -tiered prog.mj              # tiered runtime: interp tier + hot promotion
+//	sxelim -tiered -profile-out p.json prog.mj   # persist the gathered profile
+//	sxelim -profile-in p.json prog.mj   # compile with a persisted profile
 //	sxelim prog.ir                      # compile textual IR (ir.ParseProgram)
 //
 // Any failure — bad input, compile error, oracle divergence — exits with
@@ -94,12 +97,20 @@ func runMain(args []string, stdout, stderr io.Writer) error {
 	parallel := flag.Int("parallel", 0, "compile-driver worker count (0 = all CPUs, 1 = sequential)")
 	useCache := flag.Bool("cache", false, "serve per-function compilations from a content-addressed compile cache")
 	cacheMB := flag.Int64("cache-mb", 64, "compile cache capacity in MiB (with -cache)")
+	tiered := flag.Bool("tiered", false, "run under the tiered runtime: profiling interpreter tier + hot-function promotion through the jit pipeline")
+	hotThreshold := flag.Int64("hot-threshold", 0, "hotness weight (calls + branch events) promoting a function out of the interpreter tier (0 = default 100, negative = never)")
+	invocations := flag.Int("invocations", 3, "number of main invocations under -tiered")
+	profileOut := flag.String("profile-out", "", "write the gathered branch profile as JSON to this file (\"-\" = stdout)")
+	profileIn := flag.String("profile-in", "", "load a JSON branch profile: tier-up seed with -tiered, static compile profile otherwise")
 	if err := flag.Parse(args); err != nil {
 		return usageError(err.Error())
 	}
 
 	if flag.NArg() != 1 {
 		return usageError("usage: sxelim [flags] file.mj")
+	}
+	if *tiered && *compare {
+		return usageError("-tiered and -compare are mutually exclusive")
 	}
 	srcBytes, err := os.ReadFile(flag.Arg(0))
 	if err != nil {
@@ -119,12 +130,24 @@ func runMain(args []string, stdout, stderr io.Writer) error {
 	if *useCache {
 		cache = signext.NewCache(*cacheMB << 20)
 	}
+	var seed signext.Profile
+	if *profileIn != "" {
+		data, err := os.ReadFile(*profileIn)
+		if err != nil {
+			return err
+		}
+		seed, err = signext.ParseProfile(data)
+		if err != nil {
+			return fmt.Errorf("%s: %w", *profileIn, err)
+		}
+	}
 	compile := func(o signext.Options) (*signext.Result, error) {
 		o.Checked = o.Checked || *check
 		o.CheckedRun = o.CheckedRun || *check
 		o.ElimBudget = *budget
 		o.Parallelism = *parallel
 		o.Cache = cache
+		o.Profile = seed // nil without -profile-in
 		res, err := func() (res *signext.Result, err error) {
 			if irProg != nil {
 				return signext.CompileProgram(irProg, o)
@@ -146,6 +169,92 @@ func runMain(args []string, stdout, stderr io.Writer) error {
 	v, ok := variantFlags[*variant]
 	if !ok {
 		return usageError("unknown variant " + *variant)
+	}
+
+	writeProfile := func(p signext.Profile) error {
+		if *profileOut == "" {
+			return nil
+		}
+		data := p.Marshal()
+		if *profileOut == "-" {
+			_, err := stdout.Write(data)
+			return err
+		}
+		return os.WriteFile(*profileOut, data, 0o644)
+	}
+	// Without -tiered, -profile-out persists a single profiling-tier run.
+	gatherAndWrite := func() error {
+		if *profileOut == "" {
+			return nil
+		}
+		p, err := func() (signext.Profile, error) {
+			if irProg != nil {
+				return signext.GatherProfile(irProg, 0)
+			}
+			return signext.GatherProfileSource(src, 0)
+		}()
+		if err != nil {
+			return err
+		}
+		return writeProfile(p)
+	}
+
+	if *tiered {
+		o := signext.TieredOptions{
+			Options: signext.Options{
+				Variant: v, Machine: mach,
+				Checked: *check, CheckedRun: *check,
+				ElimBudget: *budget, Parallelism: *parallel, Cache: cache,
+			},
+			Invocations:  *invocations,
+			HotThreshold: *hotThreshold,
+			Seed:         seed,
+		}
+		tr, err := func() (*signext.TieredResult, error) {
+			if irProg != nil {
+				return signext.RunTiered(irProg, o)
+			}
+			return signext.RunTieredSource(src, o)
+		}()
+		if err != nil {
+			return err
+		}
+		for _, fb := range tr.Fallbacks() {
+			fmt.Fprintf(stderr, "sxelim: fallback: %s disabled for %s: %s\n", fb.Phase, fb.Func, fb.Reason)
+		}
+		tel := tr.Telemetry
+		fmt.Fprintf(stdout, "tiered: %d invocations, %d promotions, steady-state speedup %.2fx\n",
+			tel.Invocations, tel.TierUps, tel.SteadySpeedup())
+		for _, p := range tr.Promotions {
+			fmt.Fprintf(stdout, "tiered: promoted %s (invocation %d, weight %d)\n", p.Func, p.Invocation, p.Weight)
+		}
+		// The tier mix must never change observable behaviour: every
+		// invocation's output has to equal the steady-state (one-shot)
+		// artifact's.
+		rr, err := tr.Run()
+		if err != nil {
+			return fmt.Errorf("execution failed: %w", err)
+		}
+		for i, out := range tr.Outputs {
+			if out != rr.Output {
+				return fmt.Errorf("tiered invocation %d output diverged from the one-shot compile:\n%q\n%q", i+1, out, rr.Output)
+			}
+		}
+		fmt.Fprintf(stdout, "tiered: identity: %d invocation outputs match the one-shot compile\n", len(tr.Outputs))
+		printCacheStats(stderr, cache)
+		if *check {
+			fmt.Fprintln(stdout, "oracle: optimized output and extension counts check out against the baseline reference")
+		}
+		if *dump {
+			for _, fn := range tr.IR().Funcs {
+				fmt.Fprintln(stdout, fn.Format())
+			}
+		}
+		if *run {
+			fmt.Fprint(stdout, rr.Output)
+			fmt.Fprintf(stdout, "[dynamic 32-bit sign extensions: %d, cycles: %d]\n", rr.DynamicExts, rr.Cycles)
+		}
+		return writeProfile(tr.Profile)
 	}
 
 	if *compare {
@@ -172,7 +281,7 @@ func runMain(args []string, stdout, stderr io.Writer) error {
 				vv, rr.DynamicExts, pct, res.StaticExts(), rr.Cycles)
 		}
 		printCacheStats(stderr, cache)
-		return nil
+		return gatherAndWrite()
 	}
 
 	res, err := compile(signext.Options{
@@ -225,7 +334,7 @@ func runMain(args []string, stdout, stderr io.Writer) error {
 		fmt.Fprint(stdout, rr.Output)
 		fmt.Fprintf(stdout, "[dynamic 32-bit sign extensions: %d, cycles: %d]\n", rr.DynamicExts, rr.Cycles)
 	}
-	return nil
+	return gatherAndWrite()
 }
 
 // printCacheStats summarizes compile-cache activity on stderr; a nil cache

@@ -1,6 +1,8 @@
 package main
 
 import (
+	"signext"
+
 	"bytes"
 	"flag"
 	"os"
@@ -79,5 +81,84 @@ func TestExitCodes(t *testing.T) {
 				t.Errorf("stderr %q does not contain %q", stderr.String(), tc.diag)
 			}
 		})
+	}
+}
+
+func TestGoldenTiered(t *testing.T) {
+	// Tiered runtime over the fixture: promotion order, weights, the
+	// modelled steady-state speedup and the identity line are all
+	// deterministic (weights and cycles come from the interpreter, the
+	// speedup from the penalty cost model — no wall clock reaches stdout).
+	runGolden(t, "narrow_tiered.golden", "-tiered", "-hot-threshold", "50", "-invocations", "4", "-parallel", "1", "testdata/narrow.mj")
+}
+
+func TestGoldenProfileOut(t *testing.T) {
+	// The gathered profile in its JSON wire form, written to stdout. This
+	// pins the serialization: field order, function/branch sorting, indent
+	// and the trailing newline.
+	runGolden(t, "narrow_profile.golden", "-run=false", "-profile-out", "-", "-parallel", "1", "testdata/narrow.mj")
+}
+
+// TestProfileRoundTrip drives the full persistence loop: -profile-out
+// writes JSON a later process accepts via -profile-in, decode→encode is
+// byte-identical (including the golden file itself), and seeding a tiered
+// run with its own profile warm-starts promotions.
+func TestProfileRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	pfile := filepath.Join(dir, "profile.json")
+
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-tiered", "-hot-threshold", "50", "-profile-out", pfile, "-parallel", "1", "testdata/narrow.mj"}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("profile-out run failed (%d): %s", code, stderr.String())
+	}
+	data, err := os.ReadFile(pfile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := signext.ParseProfile(data)
+	if err != nil {
+		t.Fatalf("persisted profile does not parse: %v", err)
+	}
+	if !bytes.Equal(p.Marshal(), data) {
+		t.Fatal("decode→encode of the persisted profile is not byte-identical")
+	}
+
+	// The pinned golden must round-trip too — if the wire format drifts,
+	// this fails even before -update is considered. The golden holds the
+	// compile summary line followed by the JSON document.
+	golden, err := os.ReadFile("testdata/narrow_profile.golden")
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx := bytes.IndexByte(golden, '{')
+	if idx < 0 {
+		t.Fatal("golden holds no JSON document")
+	}
+	gp, err := signext.ParseProfile(golden[idx:])
+	if err != nil {
+		t.Fatalf("golden profile does not parse: %v", err)
+	}
+	if !bytes.Equal(gp.Marshal(), golden[idx:]) {
+		t.Fatal("golden profile is not a fixed point of decode→encode")
+	}
+
+	// Seeded run: the profile warm-starts promotion before invocation 1.
+	stdout.Reset()
+	stderr.Reset()
+	code = run([]string{"-tiered", "-hot-threshold", "50", "-invocations", "1", "-profile-in", pfile, "-parallel", "1", "testdata/narrow.mj"}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("profile-in run failed (%d): %s", code, stderr.String())
+	}
+	if !strings.Contains(stdout.String(), "(invocation 0,") {
+		t.Errorf("seeded run did not promote before the first invocation:\n%s", stdout.String())
+	}
+
+	// And a plain compile accepts the profile as the static order source.
+	stdout.Reset()
+	stderr.Reset()
+	code = run([]string{"-profile-in", pfile, "-parallel", "1", "testdata/narrow.mj"}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("static -profile-in compile failed (%d): %s", code, stderr.String())
 	}
 }

@@ -8,6 +8,7 @@
 //	sxfuzz -seed 7 -duration 60s -minimize      # timed, write reproducers
 //	sxfuzz -seed 1 -count 200 -chaos            # fault-injection self-check
 //	sxfuzz -seed 1 -count 500 -cache            # add the cache-identity property
+//	sxfuzz -seed 1 -count 500 -tiered           # add the profile-identity property
 package main
 
 import (
@@ -41,6 +42,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		out      = fs.String("out", "", "reproducer output directory (default internal/difftest/testdata)")
 		chaos    = fs.Bool("chaos", false, "fault-injection self-check: plant DropExt miscompiles, require the oracle to catch them")
 		cache    = fs.Bool("cache", false, "add the cache-identity property to the metamorphic set (warm compile-cache hits must be bit-identical to cold compiles)")
+		tiered   = fs.Bool("tiered", false, "add the profile-identity property to the metamorphic set (tiered execution must be bit-identical to one-shot compilation fed the gathered profile)")
 		verbose  = fs.Bool("v", false, "log campaign progress to stderr")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -63,6 +65,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		OutDir:      *out,
 	}
 	cfg.Check.Cache = *cache
+	cfg.Check.Tiered = *tiered
 	switch *kind {
 	case "":
 	case "mj", "ir":

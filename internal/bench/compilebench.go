@@ -12,6 +12,7 @@ import (
 	"signext/internal/ir"
 	"signext/internal/jit"
 	"signext/internal/minijava"
+	"signext/internal/tiered"
 	"signext/internal/workloads"
 )
 
@@ -29,6 +30,17 @@ type CompileBenchOptions struct {
 	// the warm-start speedup and a bit-identity check between the two.
 	Cache      bool
 	CacheBytes int64 // cache capacity; 0 = 64 MiB
+
+	// Tiered adds a tiered-runtime pass per workload: the program runs under
+	// the tiered execution manager (profiling interpreter tier, promotion to
+	// the compiled tier at the hotness threshold) for TieredInvocations
+	// invocations, recording tier-up counts, tier-up compile wall and the
+	// modelled steady-state speedup, plus an identity check: every
+	// invocation's output and the steady-state Finalize artifact must match a
+	// one-shot compile fed the gathered profile.
+	Tiered            bool
+	TieredInvocations int   // invocations per workload; 0 = 4
+	HotThreshold      int64 // promotion threshold; 0 = tiered.DefaultHotThreshold
 }
 
 // CompileBenchWorkload is one workload's compile measurement: the same
@@ -57,6 +69,17 @@ type CompileBenchWorkload struct {
 	CacheIdentical bool    `json:"cache_identical,omitempty"` // cold and warm bit-identical to the uncached legs
 	CacheHits      int     `json:"cache_hits,omitempty"`      // warm pass per-function hits
 	CacheMisses    int     `json:"cache_misses,omitempty"`    // warm pass misses (must be 0)
+
+	// Tiered pass (present only when CompileBenchOptions.Tiered is set).
+	// Cycles are the interpreter's deterministic cost model, with the
+	// interpreter-tier penalty applied, so the steady-state speedup is
+	// modelled, reproducible and machine-independent.
+	TierUps          int     `json:"tier_ups,omitempty"`           // functions promoted to the compiled tier
+	TierUpWallNS     int64   `json:"tier_up_wall_ns,omitempty"`    // wall clock of promotion compile rounds
+	TierColdCycles   int64   `json:"tier_cold_cycles,omitempty"`   // modelled cycles, first (all-interpreter) invocation
+	TierSteadyCycles int64   `json:"tier_steady_cycles,omitempty"` // modelled cycles, last (steady-state) invocation
+	TierSpeedup      float64 `json:"tier_speedup,omitempty"`       // TierColdCycles / TierSteadyCycles
+	TierIdentical    bool    `json:"tier_identical,omitempty"`     // outputs + Finalize identical to the one-shot profile compile
 }
 
 // CompileBenchResult is the BENCH_compile.json artifact: the compile-driver
@@ -79,6 +102,13 @@ type CompileBenchResult struct {
 	TotalWarmNS  int64            `json:"total_warm_wall_ns,omitempty"`
 	WarmSpeedup  float64          `json:"warm_speedup,omitempty"` // TotalColdNS / TotalWarmNS
 	CacheStats   *codecache.Stats `json:"cache_stats,omitempty"`  // counters summed over per-workload caches
+
+	// Tiered aggregates (present only when the tiered pass was enabled).
+	TieredEnabled     bool    `json:"tiered_enabled,omitempty"`
+	TieredInvocations int     `json:"tiered_invocations,omitempty"`
+	TotalTierUps      int     `json:"total_tier_ups,omitempty"`
+	TotalTierUpNS     int64   `json:"total_tier_up_wall_ns,omitempty"`
+	TierSpeedup       float64 `json:"tier_speedup,omitempty"` // sum cold cycles / sum steady cycles
 }
 
 // compileFingerprint captures everything that must not depend on the worker
@@ -140,6 +170,15 @@ func CompileBench(ws []workloads.Workload, o CompileBenchOptions) (*CompileBench
 	}
 	var agg codecache.Stats
 	res.CacheEnabled = o.Cache
+	tieredInv := o.TieredInvocations
+	if tieredInv <= 0 {
+		tieredInv = 4
+	}
+	res.TieredEnabled = o.Tiered
+	if o.Tiered {
+		res.TieredInvocations = tieredInv
+	}
+	var sumColdCycles, sumSteadyCycles int64
 	for _, w := range ws {
 		cu, err := minijava.Compile(w.Source)
 		if err != nil {
@@ -231,6 +270,59 @@ func CompileBench(ws []workloads.Workload, o CompileBenchOptions) (*CompileBench
 			agg.Bytes += s.Bytes
 			agg.CapacityBytes = s.CapacityBytes
 		}
+		if o.Tiered {
+			mgr, err := tiered.New(cu.Prog, tiered.Config{
+				Options:      jit.Options{Variant: variant, Machine: o.Machine, GeneralOpts: true, Parallelism: par},
+				HotThreshold: o.HotThreshold,
+			})
+			if err != nil {
+				return nil, fmt.Errorf("%s: tiered: %w", w.Name, err)
+			}
+			var outputs []string
+			for i := 0; i < tieredInv; i++ {
+				tr, err := mgr.Invoke()
+				if err != nil {
+					return nil, fmt.Errorf("%s: tiered invocation %d: %w", w.Name, i+1, err)
+				}
+				outputs = append(outputs, tr.Output)
+			}
+			final, err := mgr.Finalize()
+			if err != nil {
+				return nil, fmt.Errorf("%s: tiered finalize: %w", w.Name, err)
+			}
+			// The identity oracle: one-shot compilation fed the gathered
+			// profile. By the frozen-profile invariant its bodies match the
+			// promoted ones, and its execution output every tiered invocation.
+			oneshot, err := jit.Compile(cu.Prog, jit.Options{
+				Variant: variant, Machine: o.Machine, GeneralOpts: true,
+				Parallelism: par, Profile: mgr.Profile().ToInterp(),
+			})
+			if err != nil {
+				return nil, fmt.Errorf("%s: tiered one-shot compile: %w", w.Name, err)
+			}
+			run, err := jit.Execute(oneshot, "main")
+			if err != nil {
+				return nil, fmt.Errorf("%s: tiered one-shot run: %w", w.Name, err)
+			}
+			wl.TierIdentical = compileFingerprint(final) == compileFingerprint(oneshot)
+			for _, out := range outputs {
+				if out != run.Output {
+					wl.TierIdentical = false
+				}
+			}
+			tel := mgr.Telemetry()
+			wl.TierUps = tel.TierUps
+			wl.TierUpWallNS = int64(tel.TierUpWall)
+			wl.TierColdCycles = tel.InvocationCycles[0]
+			wl.TierSteadyCycles = tel.InvocationCycles[len(tel.InvocationCycles)-1]
+			if wl.TierSteadyCycles > 0 {
+				wl.TierSpeedup = float64(wl.TierColdCycles) / float64(wl.TierSteadyCycles)
+			}
+			res.TotalTierUps += wl.TierUps
+			res.TotalTierUpNS += wl.TierUpWallNS
+			sumColdCycles += wl.TierColdCycles
+			sumSteadyCycles += wl.TierSteadyCycles
+		}
 		res.TotalSeqNS += wl.SeqWallNS
 		res.TotalParNS += wl.ParWallNS
 		res.Workloads = append(res.Workloads, wl)
@@ -243,6 +335,9 @@ func CompileBench(ws []workloads.Workload, o CompileBenchOptions) (*CompileBench
 			res.WarmSpeedup = float64(res.TotalColdNS) / float64(res.TotalWarmNS)
 		}
 		res.CacheStats = &agg
+	}
+	if o.Tiered && sumSteadyCycles > 0 {
+		res.TierSpeedup = float64(sumColdCycles) / float64(sumSteadyCycles)
 	}
 	return res, nil
 }
@@ -307,6 +402,25 @@ func (r *CompileBenchResult) Validate() error {
 					w.Name, w.WarmSpeedup, w.ColdWallNS, w.WarmWallNS)
 			}
 		}
+		if r.TieredEnabled {
+			if !w.TierIdentical {
+				return fmt.Errorf("compilebench: %s: tiered execution NOT identical to one-shot profile compile", w.Name)
+			}
+			if w.TierUps < 1 {
+				return fmt.Errorf("compilebench: %s: tiered pass recorded no promotions", w.Name)
+			}
+			if w.TierUpWallNS <= 0 {
+				return fmt.Errorf("compilebench: %s: %d promotions but no tier-up wall recorded", w.Name, w.TierUps)
+			}
+			if w.TierColdCycles <= 0 || w.TierSteadyCycles <= 0 {
+				return fmt.Errorf("compilebench: %s: missing tiered cycle record (cold=%d steady=%d)",
+					w.Name, w.TierColdCycles, w.TierSteadyCycles)
+			}
+			if !speedupConsistent(w.TierSpeedup, w.TierColdCycles, w.TierSteadyCycles) {
+				return fmt.Errorf("compilebench: %s: tiered speedup %.4f inconsistent with cycles %d/%d",
+					w.Name, w.TierSpeedup, w.TierColdCycles, w.TierSteadyCycles)
+			}
+		}
 	}
 	var sumSeq, sumPar int64
 	for _, w := range r.Workloads {
@@ -344,6 +458,28 @@ func (r *CompileBenchResult) Validate() error {
 		if r.CacheStats.Hits == 0 || r.CacheStats.Misses == 0 {
 			return fmt.Errorf("compilebench: implausible cache counters (hits=%d misses=%d): a cold/warm run has both",
 				r.CacheStats.Hits, r.CacheStats.Misses)
+		}
+	}
+	if r.TieredEnabled {
+		if r.TieredInvocations < 2 {
+			return fmt.Errorf("compilebench: tiered pass needs at least 2 invocations (cold and steady), recorded %d",
+				r.TieredInvocations)
+		}
+		var sumUps int
+		var sumWall, sumCold, sumSteady int64
+		for _, w := range r.Workloads {
+			sumUps += w.TierUps
+			sumWall += w.TierUpWallNS
+			sumCold += w.TierColdCycles
+			sumSteady += w.TierSteadyCycles
+		}
+		if sumUps != r.TotalTierUps || sumWall != r.TotalTierUpNS {
+			return fmt.Errorf("compilebench: tier-up totals %d/%dns do not match workload sums %d/%dns",
+				r.TotalTierUps, r.TotalTierUpNS, sumUps, sumWall)
+		}
+		if !speedupConsistent(r.TierSpeedup, sumCold, sumSteady) {
+			return fmt.Errorf("compilebench: tiered speedup %.4f inconsistent with cycle sums %d/%d",
+				r.TierSpeedup, sumCold, sumSteady)
 		}
 	}
 	return nil

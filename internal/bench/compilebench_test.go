@@ -111,6 +111,80 @@ func TestCompileBenchCacheColdWarm(t *testing.T) {
 	}
 }
 
+func TestCompileBenchTiered(t *testing.T) {
+	res, err := CompileBench(miniSuite(), CompileBenchOptions{
+		Machine: ir.IA64, UseProfile: true, Parallelism: 2, Repeats: 1,
+		Tiered: true, TieredInvocations: 3, HotThreshold: 50,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Validate(); err != nil {
+		t.Fatalf("tiered result does not validate: %v", err)
+	}
+	if !res.TieredEnabled || res.TieredInvocations != 3 {
+		t.Fatalf("tiered run did not record tiered parameters: %+v", res)
+	}
+	if res.TotalTierUps < len(res.Workloads) {
+		t.Fatalf("expected every workload's main to tier up, got %d over %d workloads",
+			res.TotalTierUps, len(res.Workloads))
+	}
+	for _, w := range res.Workloads {
+		if !w.TierIdentical {
+			t.Fatalf("%s: tiered execution diverged from the one-shot profile compile", w.Name)
+		}
+		if w.TierSpeedup <= 1 {
+			t.Errorf("%s: steady state not faster than cold (speedup %.2f)", w.Name, w.TierSpeedup)
+		}
+	}
+	if res.TierSpeedup <= 1 {
+		t.Errorf("aggregate steady-state speedup %.2f should exceed 1", res.TierSpeedup)
+	}
+
+	// The artifact survives the JSON round trip with the tiered fields intact.
+	blob, err := json.Marshal(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := ValidateCompileBenchJSON(blob)
+	if err != nil {
+		t.Fatalf("round-tripped tiered artifact rejected: %v", err)
+	}
+	if back.TotalTierUps != res.TotalTierUps || back.TierSpeedup != res.TierSpeedup {
+		t.Fatalf("round trip lost tiered data: %+v vs %+v", back, res)
+	}
+
+	// Tiered-specific corruption is caught by Validate.
+	bad := *res
+	bad.Workloads = append([]CompileBenchWorkload(nil), res.Workloads...)
+	bad.Workloads[0].TierIdentical = false
+	if bad.Validate() == nil {
+		t.Fatal("validation must fail on a non-identical tiered execution")
+	}
+	bad = *res
+	bad.Workloads = append([]CompileBenchWorkload(nil), res.Workloads...)
+	bad.Workloads[0].TierUps = 0
+	if bad.Validate() == nil {
+		t.Fatal("validation must fail on a workload with no promotions")
+	}
+	bad = *res
+	bad.Workloads = append([]CompileBenchWorkload(nil), res.Workloads...)
+	bad.Workloads[0].TierSpeedup *= 2
+	if bad.Validate() == nil {
+		t.Fatal("validation must fail on a tiered speedup inconsistent with its cycles")
+	}
+	bad = *res
+	bad.TotalTierUps++
+	if bad.Validate() == nil {
+		t.Fatal("validation must fail when tier-up totals do not match workload sums")
+	}
+	bad = *res
+	bad.TierSpeedup += 0.5
+	if bad.Validate() == nil {
+		t.Fatal("validation must fail on an aggregate tiered speedup inconsistent with the cycle sums")
+	}
+}
+
 func TestCompileBenchValidateCatchesCorruption(t *testing.T) {
 	res, err := CompileBench(miniSuite()[:1], CompileBenchOptions{
 		Machine: ir.IA64, Parallelism: 2, Repeats: 1,

@@ -354,6 +354,9 @@ func propPredicate(prop string, mach ir.Machine, c Config) Predicate {
 	case "cache-identity":
 		c.OracleOnly = false
 		c.Cache = true
+	case "profile-identity":
+		c.OracleOnly = false
+		c.Tiered = true
 	default:
 		c.OracleOnly = true
 	}

@@ -18,6 +18,12 @@
 //   - cache identity (opt-in via Config.Cache): warm compile-cache hits are
 //     bit-identical to the cold compile that populated the cache, at every
 //     worker count;
+//   - profile identity (opt-in via Config.Tiered): executing under the
+//     tiered runtime — interpreter tier first, promotion to the compiled
+//     tier mid-run — is bit-identical, in output and trap behaviour, to the
+//     32-bit reference, and the steady-state Finalize artifact equals a
+//     one-shot compile fed the gathered profile (the frozen-profile
+//     invariant), at every worker count;
 //   - budget monotonicity: Stats.Eliminated is monotone non-decreasing in
 //     ElimBudget (exhaustion falls a function back to Convert64-only);
 //   - fixpoint convergence: re-running Eliminate on its own output keeps
@@ -47,6 +53,7 @@ import (
 	"signext/internal/minijava"
 	"signext/internal/progen"
 	"signext/internal/target"
+	"signext/internal/tiered"
 )
 
 // Program is one differential-test subject: a 32-bit-form IR program, plus
@@ -89,6 +96,13 @@ type Config struct {
 	// freshly populated compile cache (warm hit) must be bit-identical to the
 	// cold compile that populated it, at every worker count.
 	Cache bool
+
+	// Tiered adds the profile-identity metamorphic property: tiered execution
+	// (functions promoted from the interpreter tier mid-run) must reproduce
+	// the 32-bit reference bit-for-bit on every invocation, and its
+	// steady-state Finalize artifact must equal a one-shot compile fed the
+	// gathered profile, at every worker count.
+	Tiered bool
 
 	// OracleOnly restricts Check to the differential oracle and fallback
 	// properties — the fast mode for high-throughput campaigns; the
@@ -225,6 +239,64 @@ func Check(p *Program, cfg Config) (fails []Failure, skipped bool) {
 					if fingerprint(warm) != fingerprint(cold) {
 						fail("cache-identity", mach, "warm cache hit (par=%d) differs from the cold compile", par)
 					}
+				}
+			}
+		}
+
+		// Profile identity: the tiered runtime promotes every function after
+		// its first call (threshold 1), so later invocations run compiled
+		// bodies mid-profile. Every invocation must reproduce the 32-bit
+		// reference exactly, and by the frozen-profile invariant the
+		// steady-state artifact must equal a one-shot compile fed the
+		// gathered profile.
+		if cfg.Tiered {
+			for _, par := range []int{1, cfg.Parallelism} {
+				topts := opts
+				topts.Parallelism = par
+				mgr, terr := tiered.New(p.Prog, tiered.Config{
+					Options: topts, HotThreshold: 1, MaxSteps: cfg.MaxSteps,
+				})
+				if terr != nil {
+					fail("profile-identity", mach, "tiered manager (par=%d): %v", par, terr)
+					continue
+				}
+				proved := true
+				for i := 1; i <= 3; i++ {
+					tres, ierr := mgr.Invoke()
+					if errors.Is(ierr, interp.ErrStepLimit) {
+						proved = false // step-limited invocation proves nothing
+						break
+					}
+					if (ierr != nil) != (ref32Err != nil) {
+						fail("profile-identity", mach, "invocation %d (par=%d) trap mismatch: tiered %v, 32-bit reference %v",
+							i, par, ierr, ref32Err)
+						proved = false
+						break
+					}
+					if tres.Output != ref32.Output {
+						fail("profile-identity", mach, "invocation %d (par=%d) output mismatch:\ntiered %q\n32-bit reference %q",
+							i, par, tres.Output, ref32.Output)
+						proved = false
+						break
+					}
+				}
+				if !proved {
+					continue
+				}
+				final, ferr := mgr.Finalize()
+				if ferr != nil {
+					fail("profile-identity", mach, "finalize (par=%d): %v", par, ferr)
+					continue
+				}
+				sopts := topts
+				sopts.Profile = mgr.Profile().ToInterp()
+				oneshot, serr := jit.Compile(p.Prog, sopts)
+				if serr != nil {
+					fail("profile-identity", mach, "one-shot profile compile (par=%d): %v", par, serr)
+					continue
+				}
+				if fingerprint(final) != fingerprint(oneshot) {
+					fail("profile-identity", mach, "steady-state artifact (par=%d) differs from the one-shot compile with the gathered profile", par)
 				}
 			}
 		}

@@ -25,7 +25,8 @@ func TestCheckGeneratedPrograms(t *testing.T) {
 			if seed%3 != 0 {
 				cfg.OracleOnly = true // full metamorphic set on every third seed
 			} else {
-				cfg.Cache = true // heavy seeds also check cache identity
+				cfg.Cache = true  // heavy seeds also check cache identity...
+				cfg.Tiered = true // ...and profile identity under the tiered runtime
 			}
 			fails, skipped := Check(p, cfg)
 			if skipped {
@@ -69,6 +70,45 @@ func TestChaosFaultCaught(t *testing.T) {
 		return
 	}
 	t.Fatal("no seed in 1..30 produced a caught chaos fault — the oracle is blind")
+}
+
+// TestProfileIdentityProperty pins the tiered metamorphic property on its
+// own: across a seed sweep the tiered runtime must reproduce the reference
+// bit-for-bit and its steady-state artifact must equal the one-shot profile
+// compile, and the shrinker's predicate plumbing must route the property
+// name to a tiered-enabled config.
+func TestProfileIdentityProperty(t *testing.T) {
+	checked := 0
+	for seed := int64(1); seed <= 6; seed++ {
+		for _, kind := range []string{"mj", "ir"} {
+			p, err := Generate(seed, kind, progen.Config{})
+			if err != nil {
+				t.Fatalf("Generate(%d, %q): %v", seed, kind, err)
+			}
+			fails, skipped := Check(p, Config{Tiered: true})
+			if skipped {
+				continue
+			}
+			checked++
+			for _, f := range fails {
+				t.Errorf("seed %d (%s): %v", seed, kind, f)
+			}
+		}
+	}
+	if checked == 0 {
+		t.Fatal("every seed skipped — the property was never exercised")
+	}
+
+	// The shrink predicate for a profile-identity finding must not report a
+	// healthy program as failing.
+	p, err := Generate(1, "ir", progen.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pred := propPredicate("profile-identity", ir.IA64, Config{})
+	if pred(p.Prog) {
+		t.Fatal("profile-identity predicate claims a healthy program fails")
+	}
 }
 
 // TestShrinkReducesToCore minimizes against a cheap structural predicate and

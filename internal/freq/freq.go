@@ -15,9 +15,16 @@ import (
 	"sort"
 
 	"signext/internal/cfg"
-	"signext/internal/interp"
 	"signext/internal/ir"
 )
+
+// BranchProfile supplies dynamic taken/fall-through counts for the branch
+// terminating with frontend instruction id in function fn. Both
+// interp.Profile and profile.Profile satisfy it; a map-typed nil value is
+// fine (lookups return 0, 0 and the static heuristic takes over).
+type BranchProfile interface {
+	Counts(fn string, id int) (taken, fall int64)
+}
 
 // LoopScale is the assumed iteration count of one loop level in the static
 // estimate.
@@ -39,23 +46,27 @@ type Estimate struct {
 
 // Compute produces the frequency estimate. profile may be nil (purely static
 // estimation).
-func Compute(fn *ir.Func, info *cfg.Info, profile interp.Profile) *Estimate {
+func Compute(fn *ir.Func, info *cfg.Info, profile BranchProfile) *Estimate {
 	e := &Estimate{Fn: fn, Freq: map[*ir.Block]float64{}}
 
-	// Branch probability of each conditional edge.
-	prob := func(b *ir.Block, succIdx int) float64 {
+	// Raw branch probability of each conditional edge, before normalization.
+	rawProb := func(b *ir.Block, succIdx int) float64 {
 		if len(b.Succs) < 2 {
 			return 1
 		}
 		term := b.Term()
 		if profile != nil && term != nil {
 			taken, fall := profile.Counts(fn.Name, term.ID)
-			total := taken + fall
-			if total > 0 {
+			if taken > 0 || fall > 0 {
+				// Sum in float64: merged profiles saturate counts at
+				// MaxInt64, so the int64 sum can overflow negative and
+				// silently discard the profile for exactly the hottest
+				// branches.
+				total := float64(taken) + float64(fall)
 				if succIdx == 0 {
-					return float64(taken) / float64(total)
+					return float64(taken) / total
 				}
-				return float64(fall) / float64(total)
+				return float64(fall) / total
 			}
 		}
 		// Static heuristic: a back edge (to a dominating block) is very
@@ -70,6 +81,28 @@ func Compute(fn *ir.Func, info *cfg.Info, profile interp.Profile) *Estimate {
 			}
 		}
 		return 0.5
+	}
+	// prob normalizes the arms of each branch to sum to exactly 1. The raw
+	// values can drift: the static heuristic assigns 0.9 to every dominating
+	// successor, so a branch whose arms BOTH close a loop sums to 1.8; and
+	// merged or partial dynamic profiles can carry rounding residue. Without
+	// normalization such a branch injects (or leaks) frequency mass, inflating
+	// everything downstream of it. The division is skipped when the sum is
+	// already exactly 1 so the common cases (0.9/0.1, 0.5/0.5, well-formed
+	// profiles) keep their bit-exact historical values.
+	prob := func(b *ir.Block, succIdx int) float64 {
+		p := rawProb(b, succIdx)
+		if len(b.Succs) < 2 {
+			return p
+		}
+		sum := 0.0
+		for k := range b.Succs {
+			sum += rawProb(b, k)
+		}
+		if sum != 1 && sum > 0 {
+			return p / sum
+		}
+		return p
 	}
 
 	// Propagate frequencies in RPO within the acyclic skeleton: ignore back

@@ -325,3 +325,65 @@ func TestProgenReachedBlocksPositive(t *testing.T) {
 		}
 	}
 }
+
+// buildDiamond: entry conditionally branches to two arms that rejoin.
+func buildDiamond() (*ir.Func, *ir.Block, *ir.Block, *ir.Block, *ir.Instr) {
+	b := ir.NewFunc("f")
+	entry := b.Block()
+	then := b.NewBlock()
+	els := b.NewBlock()
+	join := b.NewBlock()
+	x := b.Const(ir.W32, 0)
+	y := b.Const(ir.W32, 1)
+	b.Br(ir.W32, ir.CondLT, x, y, then, els)
+	br := entry.Term()
+	b.SetBlock(then)
+	b.Jmp(join)
+	b.SetBlock(els)
+	b.Jmp(join)
+	b.SetBlock(join)
+	b.Ret(ir.NoReg)
+	return b.Fn, then, els, join, br
+}
+
+// TestSaturatedProfileNoOverflow pins the audit's int64-overflow fix: merged
+// profiles saturate counts at MaxInt64, and the branch total used to be
+// summed in int64 — MaxInt64 + 1 wraps negative, so the `total > 0` guard
+// silently discarded the profile for exactly the hottest branches and fell
+// back to the 50/50 static split.
+func TestSaturatedProfileNoOverflow(t *testing.T) {
+	fn, then, els, _, br := buildDiamond()
+	profile := interp.Profile{"f": {br.ID: {math.MaxInt64, 1}}}
+	info := cfg.Compute(fn)
+	e := Compute(fn, info, profile)
+	if e.Freq[then] < 0.999 {
+		t.Errorf("saturated taken count ignored: then=%g (static fallback would give 0.5)", e.Freq[then])
+	}
+	if e.Freq[els] > 1e-3 {
+		t.Errorf("saturated profile fall arm = %g, want ~0", e.Freq[els])
+	}
+}
+
+// TestProfileArmsNormalized pins the arm normalization: with large merged
+// counts, float64 rounding can make taken/total + fall/total land a few ulp
+// off 1, so every branch leaked (or injected) frequency mass into its
+// downstream region. Normalized arms restore exact mass conservation here:
+// the join of a diamond must carry exactly the entry's frequency.
+func TestProfileArmsNormalized(t *testing.T) {
+	fn, then, els, join, br := buildDiamond()
+	// These counts make float64(taken)/total + float64(fall)/total come out
+	// below 1 (0.99999999999999988…) before normalization.
+	profile := interp.Profile{"f": {br.ID: {2226407336114473942, 8407677068955557379}}}
+	info := cfg.Compute(fn)
+	e := Compute(fn, info, profile)
+	if got := e.Freq[then] + e.Freq[els]; got != 1 {
+		t.Errorf("arm probabilities sum to %.20g, want exactly 1", got)
+	}
+	if got := e.Freq[join]; got != 1 {
+		t.Errorf("diamond join frequency = %.20g, want exactly 1 (mass conserved)", got)
+	}
+	// Sanity: the skew itself must survive normalization.
+	if e.Freq[els] < 3*e.Freq[then] {
+		t.Errorf("normalization destroyed the profile skew: then=%g els=%g", e.Freq[then], e.Freq[els])
+	}
+}

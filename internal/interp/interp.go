@@ -66,6 +66,20 @@ type Options struct {
 	MaxArrayLen  int64                 // language maximum array length (0 = 2^31-1)
 	InitGlobals  []int64               // initial integer values for global cells
 
+	// FuncMode, if set, overrides Mode per function: each call frame
+	// executes under FuncMode(name). The tiered runtime uses this for
+	// mixed-tier programs — functions still in the profiling interpreter
+	// tier keep their 32-bit source form (Mode32) while promoted functions
+	// run their compiled 64-bit form (Mode64). Cross-tier calls are sound
+	// because both conventions pass sign-extended narrow arguments and
+	// returns (Mode32 normalizes every def; compiled code keeps the
+	// extensions the requiredness analysis demands at calls and returns).
+	FuncMode func(name string) Mode
+
+	// CountCalls records per-function entry counts in Result.Calls — the
+	// invocation half of the tiered runtime's hotness metric.
+	CountCalls bool
+
 	// OnDef, if set, observes every integer definition as it executes
 	// (instruction and the raw 64-bit register value written). Used by
 	// tests to validate static analyses against runtime behaviour.
@@ -86,6 +100,7 @@ type Result struct {
 	Cycles  int64
 	Ext     [65]int64 // dynamic executed OpExt count, indexed by width
 	Profile Profile
+	Calls   map[string]int64 // per-function entry counts (Options.CountCalls)
 }
 
 // Ext32 returns the dynamically executed 32-bit sign extension count, the
@@ -131,6 +146,7 @@ const defaultMaxSteps = 1 << 31
 type machine struct {
 	prog    *ir.Program
 	opt     Options
+	mode    Mode // semantics of the currently executing function
 	globals []cell
 	out     strings.Builder
 	res     Result
@@ -142,7 +158,7 @@ type machine struct {
 // a detected miscompile; Result is still returned with the state accumulated
 // so far.
 func Run(prog *ir.Program, entry string, opt Options) (*Result, error) {
-	m := &machine{prog: prog, opt: opt, globals: make([]cell, prog.NGlobals)}
+	m := &machine{prog: prog, opt: opt, mode: opt.Mode, globals: make([]cell, prog.NGlobals)}
 	for k, v := range opt.InitGlobals {
 		if k < len(m.globals) {
 			m.globals[k].i = v
@@ -159,6 +175,9 @@ func Run(prog *ir.Program, entry string, opt Options) (*Result, error) {
 	if opt.Profile {
 		m.res.Profile = Profile{}
 	}
+	if opt.CountCalls {
+		m.res.Calls = map[string]int64{}
+	}
 	fn := prog.Func(entry)
 	if fn == nil {
 		return &m.res, fmt.Errorf("%w: %s", ErrNoFunction, entry)
@@ -168,7 +187,24 @@ func Run(prog *ir.Program, entry string, opt Options) (*Result, error) {
 	return &m.res, err
 }
 
+// call sets up one frame: it resolves the function's semantic mode (tiered
+// runs mix Mode32 interpreter-tier and Mode64 compiled functions in one
+// program), counts the entry, and restores the caller's mode on return.
 func (m *machine) call(fn *ir.Func, args []slot) (slot, error) {
+	if m.res.Calls != nil {
+		m.res.Calls[fn.Name]++
+	}
+	if m.opt.FuncMode != nil {
+		prev := m.mode
+		m.mode = m.opt.FuncMode(fn.Name)
+		rv, err := m.exec(fn, args)
+		m.mode = prev
+		return rv, err
+	}
+	return m.exec(fn, args)
+}
+
+func (m *machine) exec(fn *ir.Func, args []slot) (slot, error) {
 	regs := make([]slot, fn.NReg)
 	copy(regs, args)
 	var prof map[int]*[2]int64
@@ -471,7 +507,7 @@ func (m *machine) call(fn *ir.Func, args []slot) (slot, error) {
 
 // setInt writes an integer result, normalizing in Mode32.
 func (m *machine) setInt(regs []slot, ins *ir.Instr, v int64) {
-	if m.opt.Mode == Mode32 && ins.W != ir.W64 {
+	if m.mode == Mode32 && ins.W != ir.W64 {
 		v = ins.W.SignExt(v)
 	}
 	regs[ins.Dst].i = v
@@ -482,7 +518,7 @@ func (m *machine) loadExtend(w ir.Width, raw int64) int64 {
 	if w == ir.W64 {
 		return raw
 	}
-	if m.opt.Mode == Mode32 || m.opt.Machine == ir.PPC64 {
+	if m.mode == Mode32 || m.opt.Machine == ir.PPC64 {
 		return w.SignExt(raw)
 	}
 	return w.ZeroExt(raw) // IA64: zero-extending loads
@@ -504,7 +540,7 @@ func (m *machine) index(a *array, idx int64) (int64, error) {
 	if uint64(low) >= uint64(n) {
 		return 0, fmt.Errorf("%w: index %d (low32 of %#x), length %d", ErrBounds, int32(low), uint64(idx), n)
 	}
-	if m.opt.Mode == Mode32 {
+	if m.mode == Mode32 {
 		return int64(low), nil
 	}
 	if idx != int64(low) {

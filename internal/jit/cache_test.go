@@ -7,6 +7,7 @@ import (
 
 	"signext/internal/codecache"
 	"signext/internal/guard"
+	"signext/internal/interp"
 	"signext/internal/ir"
 	"signext/internal/minijava"
 	"signext/internal/workloads"
@@ -214,6 +215,90 @@ func TestCacheParanoidRejectsCorruptedEntry(t *testing.T) {
 	}
 	if err := guard.VerifyProgram(res.Prog, o.Machine); err == nil {
 		t.Fatal("control failed: corrupted entry was expected to reach the output without paranoid mode")
+	}
+}
+
+// TestCacheProfileSignatureSeparation: the per-function branch-profile
+// signature partitions the key space exactly. A re-gathered profile with
+// identical counts (a distinct map object, as a warm-started tiered run
+// produces) must hit every entry; changing a single branch count must miss
+// for the affected function and only for it.
+func TestCacheProfileSignatureSeparation(t *testing.T) {
+	cu, err := minijava.Compile(workloads.JBYTEmark()[1].Source)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p1, err := ProfileRun(cu.Prog, "main", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := ProfileRun(cu.Prog, "main", 0) // deterministic re-run: equal counts, fresh maps
+	if err != nil {
+		t.Fatal(err)
+	}
+	cache := codecache.New(64 << 20)
+	o := Options{Variant: All, Machine: ir.IA64, GeneralOpts: true, Cache: cache, Parallelism: 1, Profile: p1}
+	cold, err := Compile(cu.Prog, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cold.CacheStats.Hits != 0 {
+		t.Fatalf("cold compile was not cold: %+v", cold.CacheStats)
+	}
+	funcs := cold.CacheStats.Misses
+
+	o.Profile = p2
+	warm, err := Compile(cu.Prog, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warm.CacheStats.Misses != 0 || warm.CacheStats.Hits != funcs {
+		t.Fatalf("re-gathered identical profile did not hit every entry: %+v", warm.CacheStats)
+	}
+
+	// Mutate one branch count of one function: that function's key — and no
+	// other — must change.
+	mut := interp.Profile{}
+	for name, branches := range p2 {
+		mb := map[int]*[2]int64{}
+		for id, c := range branches {
+			cc := *c
+			mb[id] = &cc
+		}
+		mut[name] = mb
+	}
+	victim := ""
+	for _, fn := range cu.Prog.Funcs {
+		if len(mut[fn.Name]) > 0 {
+			victim = fn.Name
+			break
+		}
+	}
+	if victim == "" {
+		t.Fatal("no function gathered branch counts")
+	}
+	for _, c := range mut[victim] {
+		c[0]++ // one extra taken edge
+		break
+	}
+	mo := o
+	mo.Profile = mut
+	for _, fn := range cu.Prog.Funcs {
+		same := cacheKey(fn, o) == cacheKey(fn, mo)
+		if fn.Name == victim && same {
+			t.Errorf("%s: changed branch count did not change the cache key", fn.Name)
+		}
+		if fn.Name != victim && !same {
+			t.Errorf("%s: unrelated function's key changed with another function's profile", fn.Name)
+		}
+	}
+	res, err := Compile(cu.Prog, mo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CacheStats.Misses != 1 || res.CacheStats.Hits != funcs-1 {
+		t.Errorf("changed profile should miss exactly the affected function: %+v (funcs %d)",
+			res.CacheStats, funcs)
 	}
 }
 

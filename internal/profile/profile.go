@@ -1,0 +1,419 @@
+// Package profile implements the online branch-profiling side of the tiered
+// runtime: lock-cheap per-function taken/fall-through counters gathered while
+// code runs in the interpreter tier, a serializable snapshot form that
+// round-trips through JSON (sxelim -profile-out / -profile-in), and the
+// conversions that feed gathered counts into order determination
+// (freq.BranchProfile) and the jit driver (interp.Profile).
+//
+// Two representations exist on purpose:
+//
+//   - Collector is the hot mutable accumulator: a read-locked map lookup plus
+//     one atomic add per observed branch, safe for concurrent writers, so an
+//     instrumented execution tier never serializes on a global lock.
+//   - Profile is the immutable value form a Snapshot produces: plain counts,
+//     mergeable, JSON-serializable with a deterministic byte encoding
+//     (functions sorted by name, branches by instruction ID), and directly
+//     usable as a freq.BranchProfile.
+//
+// Branch counters are keyed by the branch instruction's ID in the frontend
+// (32-bit form) program; ir.Func.Clone preserves IDs, so profiles gathered on
+// an execution clone apply to every later compilation of the same frontend
+// output.
+package profile
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"signext/internal/interp"
+)
+
+// Counts is one branch's outcome totals.
+type Counts struct {
+	Taken int64 `json:"taken"`
+	Fall  int64 `json:"fall"`
+}
+
+// FuncProfile is the gathered profile of one function: how often it was
+// entered and how each of its conditional branches resolved.
+type FuncProfile struct {
+	Calls    int64
+	Branches map[int]Counts
+}
+
+// Profile is the serializable value form of a gathered profile: function
+// name -> counters. The zero value (nil) is a valid empty profile.
+type Profile map[string]*FuncProfile
+
+// Counts returns a branch's taken/fall-through totals, making Profile a
+// freq.BranchProfile.
+func (p Profile) Counts(fn string, id int) (taken, fall int64) {
+	if fp := p[fn]; fp != nil {
+		c := fp.Branches[id]
+		return c.Taken, c.Fall
+	}
+	return 0, 0
+}
+
+// Weight is the hotness of one function: entries plus executed branch
+// events. Calls alone would starve loop bodies (one call, a million
+// iterations); branch events alone would starve straight-line code.
+func (p Profile) Weight(fn string) int64 {
+	fp := p[fn]
+	if fp == nil {
+		return 0
+	}
+	w := fp.Calls
+	for _, c := range fp.Branches {
+		w = satAdd(w, satAdd(c.Taken, c.Fall))
+	}
+	return w
+}
+
+// Clone deep-copies the profile.
+func (p Profile) Clone() Profile {
+	if p == nil {
+		return nil
+	}
+	out := make(Profile, len(p))
+	for name, fp := range p {
+		nb := make(map[int]Counts, len(fp.Branches))
+		for id, c := range fp.Branches {
+			nb[id] = c
+		}
+		out[name] = &FuncProfile{Calls: fp.Calls, Branches: nb}
+	}
+	return out
+}
+
+// Merge adds other's counters into p (saturating at MaxInt64) and returns p,
+// allocating it if nil. Merging partial profiles from several runs is the
+// normal mode of the tiered runtime; consumers must not assume arm counts
+// sum to any particular total (freq normalizes probabilities).
+func (p Profile) Merge(other Profile) Profile {
+	if len(other) == 0 {
+		return p
+	}
+	if p == nil {
+		p = Profile{}
+	}
+	for name, ofp := range other {
+		fp := p[name]
+		if fp == nil {
+			fp = &FuncProfile{Branches: map[int]Counts{}}
+			p[name] = fp
+		}
+		fp.Calls = satAdd(fp.Calls, ofp.Calls)
+		for id, c := range ofp.Branches {
+			cur := fp.Branches[id]
+			fp.Branches[id] = Counts{
+				Taken: satAdd(cur.Taken, c.Taken),
+				Fall:  satAdd(cur.Fall, c.Fall),
+			}
+		}
+	}
+	return p
+}
+
+// ToInterp converts to the interp.Profile form jit.Options.Profile and the
+// compile-cache key signature consume. Entry counts are dropped: order
+// determination only reads branch probabilities.
+func (p Profile) ToInterp() interp.Profile {
+	if p == nil {
+		return nil
+	}
+	out := interp.Profile{}
+	for name, fp := range p {
+		m := map[int]*[2]int64{}
+		for id, c := range fp.Branches {
+			m[id] = &[2]int64{c.Taken, c.Fall}
+		}
+		out[name] = m
+	}
+	return out
+}
+
+// FromInterp builds a Profile from one interpreter run's branch counters and
+// (optionally) its per-function call counts.
+func FromInterp(ip interp.Profile, calls map[string]int64) Profile {
+	p := Profile{}
+	for name, m := range ip {
+		fp := &FuncProfile{Branches: map[int]Counts{}}
+		for id, c := range m {
+			fp.Branches[id] = Counts{Taken: c[0], Fall: c[1]}
+		}
+		p[name] = fp
+	}
+	for name, n := range calls {
+		fp := p[name]
+		if fp == nil {
+			fp = &FuncProfile{Branches: map[int]Counts{}}
+			p[name] = fp
+		}
+		fp.Calls = satAdd(fp.Calls, n)
+	}
+	return p
+}
+
+// Wire format: one JSON object with explicit, sorted arrays so the encoding
+// is byte-deterministic (golden-file pinnable) and diff-friendly.
+type wireFile struct {
+	Version   int        `json:"version"`
+	Functions []wireFunc `json:"functions"`
+}
+
+type wireFunc struct {
+	Name     string       `json:"name"`
+	Calls    int64        `json:"calls,omitempty"`
+	Branches []wireBranch `json:"branches,omitempty"`
+}
+
+type wireBranch struct {
+	ID    int   `json:"id"`
+	Taken int64 `json:"taken"`
+	Fall  int64 `json:"fall"`
+}
+
+// wireVersion is bumped on incompatible schema changes; Unmarshal rejects
+// anything else so a stale artifact fails loudly instead of silently biasing
+// order determination.
+const wireVersion = 1
+
+// Marshal encodes the profile deterministically: functions sorted by name,
+// branches by instruction ID, indented for human diffing, trailing newline.
+func (p Profile) Marshal() []byte {
+	w := wireFile{Version: wireVersion, Functions: []wireFunc{}}
+	names := make([]string, 0, len(p))
+	for name := range p {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		fp := p[name]
+		wf := wireFunc{Name: name, Calls: fp.Calls}
+		ids := make([]int, 0, len(fp.Branches))
+		for id := range fp.Branches {
+			ids = append(ids, id)
+		}
+		sort.Ints(ids)
+		for _, id := range ids {
+			c := fp.Branches[id]
+			wf.Branches = append(wf.Branches, wireBranch{ID: id, Taken: c.Taken, Fall: c.Fall})
+		}
+		w.Functions = append(w.Functions, wf)
+	}
+	data, err := json.MarshalIndent(&w, "", "  ")
+	if err != nil {
+		panic(fmt.Sprintf("profile: marshal cannot fail on plain structs: %v", err))
+	}
+	return append(data, '\n')
+}
+
+// Unmarshal decodes a profile written by Marshal (or hand-written JSON in
+// the same schema), validating version, duplicates and count signs.
+func Unmarshal(data []byte) (Profile, error) {
+	var w wireFile
+	if err := json.Unmarshal(data, &w); err != nil {
+		return nil, fmt.Errorf("profile: bad JSON: %w", err)
+	}
+	if w.Version != wireVersion {
+		return nil, fmt.Errorf("profile: unsupported version %d (want %d)", w.Version, wireVersion)
+	}
+	p := Profile{}
+	for _, wf := range w.Functions {
+		if wf.Name == "" {
+			return nil, fmt.Errorf("profile: function with empty name")
+		}
+		if p[wf.Name] != nil {
+			return nil, fmt.Errorf("profile: duplicate function %q", wf.Name)
+		}
+		if wf.Calls < 0 {
+			return nil, fmt.Errorf("profile: %s: negative call count %d", wf.Name, wf.Calls)
+		}
+		fp := &FuncProfile{Calls: wf.Calls, Branches: map[int]Counts{}}
+		for _, b := range wf.Branches {
+			if b.Taken < 0 || b.Fall < 0 {
+				return nil, fmt.Errorf("profile: %s: branch %d has negative counts (%d/%d)", wf.Name, b.ID, b.Taken, b.Fall)
+			}
+			if _, dup := fp.Branches[b.ID]; dup {
+				return nil, fmt.Errorf("profile: %s: duplicate branch id %d", wf.Name, b.ID)
+			}
+			fp.Branches[b.ID] = Counts{Taken: b.Taken, Fall: b.Fall}
+		}
+		p[wf.Name] = fp
+	}
+	return p, nil
+}
+
+// satAdd adds two non-negative counters, saturating at MaxInt64 so merged
+// long-running profiles never wrap negative.
+func satAdd(a, b int64) int64 {
+	s := a + b
+	if s < a {
+		return math.MaxInt64
+	}
+	return s
+}
+
+// funcCounters is one function's live counter block inside a Collector.
+type funcCounters struct {
+	calls int64 // atomic
+
+	mu sync.RWMutex // guards the branches map's shape, not the counters
+	br map[int]*[2]int64
+}
+
+func (fc *funcCounters) counter(id int) *[2]int64 {
+	fc.mu.RLock()
+	c := fc.br[id]
+	fc.mu.RUnlock()
+	if c != nil {
+		return c
+	}
+	fc.mu.Lock()
+	defer fc.mu.Unlock()
+	if c = fc.br[id]; c == nil {
+		c = new([2]int64)
+		fc.br[id] = c
+	}
+	return c
+}
+
+// Collector accumulates branch and entry counters from any number of
+// concurrent observers. The hot path — an already-seen (function, branch)
+// pair — is a shared read lock plus one atomic add; map growth takes the
+// write lock once per new key.
+type Collector struct {
+	mu  sync.RWMutex
+	fns map[string]*funcCounters
+}
+
+// NewCollector returns an empty collector. seed, if non-nil, pre-loads
+// previously gathered counters (sxelim -profile-in, warm-start persistence).
+func NewCollector(seed Profile) *Collector {
+	c := &Collector{fns: map[string]*funcCounters{}}
+	c.Add(seed)
+	return c
+}
+
+func (c *Collector) fn(name string) *funcCounters {
+	c.mu.RLock()
+	fc := c.fns[name]
+	c.mu.RUnlock()
+	if fc != nil {
+		return fc
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if fc = c.fns[name]; fc == nil {
+		fc = &funcCounters{br: map[int]*[2]int64{}}
+		c.fns[name] = fc
+	}
+	return fc
+}
+
+// Observe records one executed conditional branch.
+func (c *Collector) Observe(fn string, id int, taken bool) {
+	ctr := c.fn(fn).counter(id)
+	if taken {
+		atomic.AddInt64(&ctr[0], 1)
+	} else {
+		atomic.AddInt64(&ctr[1], 1)
+	}
+}
+
+// ObserveCall records one function entry.
+func (c *Collector) ObserveCall(fn string) {
+	atomic.AddInt64(&c.fn(fn).calls, 1)
+}
+
+// Add merges a finished profile (e.g. one interpreter run's snapshot) into
+// the collector. Cheaper than per-branch Observe calls when a run already
+// aggregated its own counters.
+func (c *Collector) Add(p Profile) {
+	for name, fp := range p {
+		fc := c.fn(name)
+		if fp.Calls != 0 {
+			atomic.AddInt64(&fc.calls, fp.Calls)
+		}
+		for id, counts := range fp.Branches {
+			ctr := fc.counter(id)
+			atomic.AddInt64(&ctr[0], counts.Taken)
+			atomic.AddInt64(&ctr[1], counts.Fall)
+		}
+	}
+}
+
+// AddRun merges one interpreter run's branch counters and call counts,
+// keeping only functions include accepts (the tiered runtime filters out
+// functions already running compiled code, whose instruction IDs belong to
+// the optimized body, not the frontend form). A nil include keeps all.
+func (c *Collector) AddRun(ip interp.Profile, calls map[string]int64, include func(string) bool) {
+	for name, m := range ip {
+		if include != nil && !include(name) {
+			continue
+		}
+		fc := c.fn(name)
+		for id, counts := range m {
+			ctr := fc.counter(id)
+			atomic.AddInt64(&ctr[0], counts[0])
+			atomic.AddInt64(&ctr[1], counts[1])
+		}
+	}
+	for name, n := range calls {
+		if include != nil && !include(name) {
+			continue
+		}
+		atomic.AddInt64(&c.fn(name).calls, n)
+	}
+}
+
+// Snapshot returns a consistent value copy of the counters. Concurrent
+// observers may keep counting; the snapshot reflects some point between the
+// call's start and end.
+func (c *Collector) Snapshot() Profile {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	p := Profile{}
+	for name, fc := range c.fns {
+		fp := &FuncProfile{Calls: atomic.LoadInt64(&fc.calls), Branches: map[int]Counts{}}
+		fc.mu.RLock()
+		for id, ctr := range fc.br {
+			fp.Branches[id] = Counts{
+				Taken: atomic.LoadInt64(&ctr[0]),
+				Fall:  atomic.LoadInt64(&ctr[1]),
+			}
+		}
+		fc.mu.RUnlock()
+		p[name] = fp
+	}
+	return p
+}
+
+// Weight reports a function's current hotness (entries + branch events).
+func (c *Collector) Weight(fn string) int64 {
+	c.mu.RLock()
+	fc := c.fns[fn]
+	c.mu.RUnlock()
+	if fc == nil {
+		return 0
+	}
+	w := atomic.LoadInt64(&fc.calls)
+	fc.mu.RLock()
+	for _, ctr := range fc.br {
+		w = satAdd(w, satAdd(atomic.LoadInt64(&ctr[0]), atomic.LoadInt64(&ctr[1])))
+	}
+	fc.mu.RUnlock()
+	return w
+}
+
+// Reset drops every counter.
+func (c *Collector) Reset() {
+	c.mu.Lock()
+	c.fns = map[string]*funcCounters{}
+	c.mu.Unlock()
+}

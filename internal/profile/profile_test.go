@@ -1,0 +1,192 @@
+package profile
+
+import (
+	"bytes"
+	"math"
+	"reflect"
+	"sync"
+	"testing"
+
+	"signext/internal/interp"
+)
+
+func sample() Profile {
+	return Profile{
+		"main": {Calls: 3, Branches: map[int]Counts{
+			7:  {Taken: 10, Fall: 2},
+			12: {Taken: 0, Fall: 5},
+		}},
+		"helper": {Calls: 40, Branches: map[int]Counts{}},
+	}
+}
+
+func TestMarshalRoundTrip(t *testing.T) {
+	p := sample()
+	data := p.Marshal()
+	got, err := Unmarshal(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(p, got) {
+		t.Fatalf("round trip changed the profile:\n%v\n%v", p, got)
+	}
+	// Deterministic bytes: marshal of the decoded copy is identical.
+	if !bytes.Equal(data, got.Marshal()) {
+		t.Fatalf("marshal is not byte-deterministic:\n%s\n%s", data, got.Marshal())
+	}
+}
+
+func TestMarshalDeterministicOrder(t *testing.T) {
+	// Two structurally equal profiles built in different insertion orders
+	// must serialize to the same bytes.
+	a := Profile{}
+	a.Merge(sample())
+	b := Profile{
+		"helper": {Calls: 40, Branches: map[int]Counts{}},
+		"main": {Calls: 3, Branches: map[int]Counts{
+			12: {Taken: 0, Fall: 5},
+			7:  {Taken: 10, Fall: 2},
+		}},
+	}
+	if !bytes.Equal(a.Marshal(), b.Marshal()) {
+		t.Fatalf("equal profiles serialized differently:\n%s\n%s", a.Marshal(), b.Marshal())
+	}
+}
+
+func TestUnmarshalRejects(t *testing.T) {
+	cases := map[string]string{
+		"bad json":       `{`,
+		"wrong version":  `{"version":2,"functions":[]}`,
+		"empty name":     `{"version":1,"functions":[{"name":""}]}`,
+		"dup func":       `{"version":1,"functions":[{"name":"f"},{"name":"f"}]}`,
+		"negative calls": `{"version":1,"functions":[{"name":"f","calls":-1}]}`,
+		"negative taken": `{"version":1,"functions":[{"name":"f","branches":[{"id":1,"taken":-2,"fall":0}]}]}`,
+		"dup branch":     `{"version":1,"functions":[{"name":"f","branches":[{"id":1,"taken":1,"fall":0},{"id":1,"taken":2,"fall":0}]}]}`,
+	}
+	for name, data := range cases {
+		if _, err := Unmarshal([]byte(data)); err == nil {
+			t.Errorf("%s: Unmarshal accepted %s", name, data)
+		}
+	}
+}
+
+func TestMergeAndWeight(t *testing.T) {
+	var p Profile // merging into nil allocates
+	p = p.Merge(sample())
+	p = p.Merge(sample())
+	if got := p["main"].Calls; got != 6 {
+		t.Fatalf("merged calls = %d, want 6", got)
+	}
+	if got := p["main"].Branches[7]; got != (Counts{Taken: 20, Fall: 4}) {
+		t.Fatalf("merged branch = %+v", got)
+	}
+	// Weight = calls + branch events.
+	if got, want := p.Weight("main"), int64(6+20+4+0+10); got != want {
+		t.Fatalf("Weight(main) = %d, want %d", got, want)
+	}
+	if got := p.Weight("helper"); got != 80 {
+		t.Fatalf("Weight(helper) = %d, want 80", got)
+	}
+	if got := p.Weight("absent"); got != 0 {
+		t.Fatalf("Weight(absent) = %d, want 0", got)
+	}
+}
+
+func TestMergeSaturates(t *testing.T) {
+	p := Profile{"f": {Calls: math.MaxInt64 - 1, Branches: map[int]Counts{
+		1: {Taken: math.MaxInt64, Fall: 0},
+	}}}
+	p = p.Merge(Profile{"f": {Calls: 10, Branches: map[int]Counts{1: {Taken: 10, Fall: 0}}}})
+	if p["f"].Calls != math.MaxInt64 {
+		t.Fatalf("calls did not saturate: %d", p["f"].Calls)
+	}
+	if p["f"].Branches[1].Taken != math.MaxInt64 {
+		t.Fatalf("taken did not saturate: %d", p["f"].Branches[1].Taken)
+	}
+	if p.Weight("f") != math.MaxInt64 {
+		t.Fatalf("weight did not saturate: %d", p.Weight("f"))
+	}
+}
+
+func TestInterpConversions(t *testing.T) {
+	ip := interp.Profile{
+		"main": {4: &[2]int64{7, 3}},
+	}
+	p := FromInterp(ip, map[string]int64{"main": 2, "cold": 1})
+	if got, want := p.Weight("main"), int64(2+7+3); got != want {
+		t.Fatalf("Weight = %d, want %d", got, want)
+	}
+	if p["cold"].Calls != 1 {
+		t.Fatalf("calls-only function lost: %+v", p["cold"])
+	}
+	back := p.ToInterp()
+	if got := back["main"][4]; got == nil || got[0] != 7 || got[1] != 3 {
+		t.Fatalf("ToInterp lost counts: %v", got)
+	}
+	if taken, fall := p.Counts("main", 4); taken != 7 || fall != 3 {
+		t.Fatalf("Counts = %d/%d", taken, fall)
+	}
+	if taken, fall := p.Counts("main", 99); taken != 0 || fall != 0 {
+		t.Fatalf("missing branch Counts = %d/%d, want 0/0", taken, fall)
+	}
+}
+
+func TestCollectorConcurrent(t *testing.T) {
+	c := NewCollector(nil)
+	const workers, per = 8, 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				c.Observe("main", 7, i%2 == 0)
+				c.ObserveCall("main")
+				c.Observe("f", w, true) // per-worker branch id: map growth under contention
+			}
+		}(w)
+	}
+	wg.Wait()
+	p := c.Snapshot()
+	if got := p["main"].Calls; got != workers*per {
+		t.Fatalf("calls = %d, want %d", got, workers*per)
+	}
+	b := p["main"].Branches[7]
+	if b.Taken+b.Fall != workers*per || b.Taken != b.Fall {
+		t.Fatalf("branch counts = %+v", b)
+	}
+	for w := 0; w < workers; w++ {
+		if got := p["f"].Branches[w]; got != (Counts{Taken: per}) {
+			t.Fatalf("worker %d branch = %+v", w, got)
+		}
+	}
+	if got, want := c.Weight("main"), int64(2*workers*per); got != want {
+		t.Fatalf("Weight = %d, want %d", got, want)
+	}
+	c.Reset()
+	if len(c.Snapshot()) != 0 {
+		t.Fatal("Reset left counters behind")
+	}
+}
+
+func TestCollectorSeedAndAddRun(t *testing.T) {
+	c := NewCollector(sample())
+	c.AddRun(
+		interp.Profile{
+			"main": {7: &[2]int64{1, 1}},
+			"hot":  {3: &[2]int64{5, 0}},
+		},
+		map[string]int64{"main": 1, "hot": 2},
+		func(name string) bool { return name != "hot" }, // hot already promoted: its IDs are compiled-body IDs
+	)
+	p := c.Snapshot()
+	if got := p["main"].Branches[7]; got != (Counts{Taken: 11, Fall: 3}) {
+		t.Fatalf("seed+run merge = %+v", got)
+	}
+	if p["hot"] != nil {
+		t.Fatalf("excluded function was merged: %+v", p["hot"])
+	}
+	if p["main"].Calls != 4 {
+		t.Fatalf("calls = %d, want 4", p["main"].Calls)
+	}
+}

@@ -1,0 +1,310 @@
+// Package tiered is the execution manager of the paper's combined
+// interpreter and dynamic compiler: every function starts in the profiling
+// interpreter tier (its 32-bit source form, Mode32), and functions whose
+// hotness weight — entry count plus observed branch events — crosses a
+// configurable threshold are promoted by recompiling through the full
+// guarded jit pipeline with the profile gathered so far. Promoted functions
+// run their compiled 64-bit bodies (Mode64) in the same program as the
+// interpreter-tier remainder; the mix is sound because both calling
+// conventions pass sign-extended narrow arguments and returns.
+//
+// A function's branch profile freezes at promotion: later runs execute its
+// compiled body, whose instruction IDs no longer correspond to the source
+// form, so the collector excludes promoted functions. Because the compiler
+// consumes only a function's own branch counts, the body compiled at
+// promotion time is bit-identical to one compiled later with the final
+// gathered profile — the invariant the difftest profile-identity property
+// checks against one-shot compilation.
+package tiered
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"signext/internal/interp"
+	"signext/internal/ir"
+	"signext/internal/jit"
+	"signext/internal/profile"
+	"signext/internal/target"
+)
+
+// Tier identifies which form of a function executes.
+type Tier uint8
+
+const (
+	// TierInterp is the profiling interpreter tier: the 32-bit source form.
+	TierInterp Tier = iota
+	// TierCompiled is the optimized tier: the jit-compiled 64-bit form.
+	TierCompiled
+)
+
+func (t Tier) String() string {
+	if t == TierCompiled {
+		return "compiled"
+	}
+	return "interp"
+}
+
+// Defaults for Config zero values.
+const (
+	DefaultHotThreshold  = 100
+	DefaultInterpPenalty = 10
+)
+
+// Config configures a Manager.
+type Config struct {
+	// Options is the jit pipeline configuration used for every promotion
+	// compile and for Finalize. Options.Profile is overwritten with the
+	// gathered profile on each compile.
+	Options jit.Options
+
+	// Entry is the function each Invoke executes. Default "main".
+	Entry string
+
+	// HotThreshold is the hotness weight (calls + branch events, seeded by
+	// Seed) at which a function leaves the interpreter tier. Default
+	// DefaultHotThreshold; negative means never promote.
+	HotThreshold int64
+
+	// InterpPenalty scales the modelled cycle cost of instructions executed
+	// in interpreter-tier frames, making the tier split visible in the
+	// cycle telemetry. Default DefaultInterpPenalty; 1 disables the
+	// penalty.
+	InterpPenalty int64
+
+	// MaxSteps bounds each invocation's interpreter steps (0 = interp
+	// default).
+	MaxSteps int64
+
+	// Seed warm-starts the collector, e.g. from a persisted profile
+	// (sxelim -profile-in). Seeded weight counts toward promotion, so hot
+	// functions from a previous process can tier up before their first run.
+	Seed profile.Profile
+}
+
+// Promotion records one function's tier-up.
+type Promotion struct {
+	Func       string
+	Invocation int           // invocation after which it was promoted (0 = seeded)
+	Weight     int64         // hotness weight at promotion time
+	Wall       time.Duration // wall clock of the promotion's compile round
+}
+
+// FuncState is one function's current tier for inspection and CLI display.
+type FuncState struct {
+	Name       string
+	Tier       Tier
+	Weight     int64
+	PromotedAt int // invocation after which it tiered up; -1 if still interpreting
+}
+
+// Telemetry aggregates the runtime's tier behaviour.
+type Telemetry struct {
+	Invocations int
+	TierUps     int           // functions promoted to the compiled tier
+	TierUpWall  time.Duration // total wall clock of promotion compile rounds
+
+	// InterpCycles and CompiledCycles split the modelled cycles by the tier
+	// of the executing frame; InterpCycles already includes the
+	// InterpPenalty factor. InvocationCycles records each invocation's
+	// total, so cold-vs-steady-state comparisons need no re-run.
+	InterpCycles     int64
+	CompiledCycles   int64
+	InvocationCycles []int64
+}
+
+// SteadySpeedup returns the modelled speedup of the last (steady-state)
+// invocation over the first (cold, all-interpreter) one; 0 with fewer than
+// two invocations.
+func (t Telemetry) SteadySpeedup() float64 {
+	n := len(t.InvocationCycles)
+	if n < 2 || t.InvocationCycles[n-1] == 0 {
+		return 0
+	}
+	return float64(t.InvocationCycles[0]) / float64(t.InvocationCycles[n-1])
+}
+
+// Manager owns a tiered execution of one program.
+type Manager struct {
+	cfg       Config
+	src       *ir.Program // pristine 32-bit source: every compile starts here
+	mixed     *ir.Program // executing program: source bodies + promoted compiled bodies
+	collector *profile.Collector
+	tier      map[string]Tier
+	prom      []Promotion
+	promAt    map[string]int
+	tel       Telemetry
+	baseCost  func(*ir.Instr) int64
+}
+
+// New creates a Manager for prog (32-bit frontend form; not modified). A
+// non-nil cfg.Seed is checked for promotions immediately, so functions hot
+// in a previous process skip the cold tier.
+func New(prog *ir.Program, cfg Config) (*Manager, error) {
+	if cfg.Entry == "" {
+		cfg.Entry = "main"
+	}
+	if cfg.HotThreshold == 0 {
+		cfg.HotThreshold = DefaultHotThreshold
+	}
+	if cfg.InterpPenalty <= 0 {
+		cfg.InterpPenalty = DefaultInterpPenalty
+	}
+	m := &Manager{
+		cfg:       cfg,
+		src:       prog,
+		mixed:     prog.Clone(),
+		collector: profile.NewCollector(cfg.Seed),
+		tier:      map[string]Tier{},
+		promAt:    map[string]int{},
+		baseCost:  target.CostModel(cfg.Options.Machine),
+	}
+	for _, fn := range prog.Funcs {
+		m.tier[fn.Name] = TierInterp
+	}
+	if cfg.Seed != nil {
+		if err := m.promote(0); err != nil {
+			return nil, err
+		}
+	}
+	return m, nil
+}
+
+// Invoke executes the entry function once on the current tier mix,
+// accumulates the run's branch profile and call counts for every function
+// still in the interpreter tier, then promotes functions that crossed the
+// hotness threshold. The interp.Result is returned even when execution
+// trapped (the profile of the executed prefix still counts); promotion is
+// skipped on error.
+func (m *Manager) Invoke() (*interp.Result, error) {
+	m.tel.Invocations++
+	inv := m.tel.Invocations
+
+	var interpCycles, compiledCycles int64
+	res, err := interp.Run(m.mixed, m.cfg.Entry, interp.Options{
+		Mode:        interp.Mode64,
+		Machine:     m.cfg.Options.Machine,
+		MaxArrayLen: m.cfg.Options.MaxArrayLen,
+		MaxSteps:    m.cfg.MaxSteps,
+		Profile:     true,
+		CountCalls:  true,
+		FuncMode: func(name string) interp.Mode {
+			if m.tier[name] == TierCompiled {
+				return interp.Mode64
+			}
+			return interp.Mode32
+		},
+		Cost: func(ins *ir.Instr) int64 {
+			c := m.baseCost(ins)
+			if ins.Blk != nil && ins.Blk.Fn != nil && m.tier[ins.Blk.Fn.Name] != TierCompiled {
+				c *= m.cfg.InterpPenalty
+				interpCycles += c
+			} else {
+				compiledCycles += c
+			}
+			return c
+		},
+	})
+	m.collector.AddRun(res.Profile, res.Calls, func(name string) bool {
+		return m.tier[name] != TierCompiled
+	})
+	m.tel.InterpCycles += interpCycles
+	m.tel.CompiledCycles += compiledCycles
+	m.tel.InvocationCycles = append(m.tel.InvocationCycles, res.Cycles)
+	if err != nil {
+		return res, err
+	}
+	if perr := m.promote(inv); perr != nil {
+		return res, perr
+	}
+	return res, nil
+}
+
+// promote recompiles and swaps in every interpreter-tier function whose
+// weight reached the threshold. One compile round serves all of them: the
+// jit pipeline is whole-program, and with a shared Options.Cache the
+// already-promoted functions are warm hits.
+func (m *Manager) promote(inv int) error {
+	if m.cfg.HotThreshold < 0 {
+		return nil
+	}
+	var hot []string
+	for _, fn := range m.src.Funcs {
+		if m.tier[fn.Name] == TierInterp && m.collector.Weight(fn.Name) >= m.cfg.HotThreshold {
+			hot = append(hot, fn.Name)
+		}
+	}
+	if len(hot) == 0 {
+		return nil
+	}
+	o := m.cfg.Options
+	o.Profile = m.collector.Snapshot().ToInterp()
+	t0 := time.Now()
+	res, err := jit.Compile(m.src, o)
+	wall := time.Since(t0)
+	if err != nil {
+		return fmt.Errorf("tiered: promotion compile (invocation %d): %w", inv, err)
+	}
+	for _, name := range hot {
+		cf := res.Prog.Func(name)
+		if cf == nil {
+			return fmt.Errorf("tiered: compiled program lost function %s", name)
+		}
+		m.mixed.ReplaceFunc(cf)
+		m.tier[name] = TierCompiled
+		m.promAt[name] = inv
+		m.prom = append(m.prom, Promotion{
+			Func: name, Invocation: inv,
+			Weight: m.collector.Weight(name), Wall: wall,
+		})
+	}
+	m.tel.TierUps = len(m.prom)
+	m.tel.TierUpWall += wall
+	return nil
+}
+
+// Finalize compiles the whole program one-shot with the gathered profile —
+// the steady-state artifact. By the frozen-profile invariant its promoted
+// functions are bit-identical to the bodies the mixed program has been
+// executing.
+func (m *Manager) Finalize() (*jit.Result, error) {
+	o := m.cfg.Options
+	o.Profile = m.collector.Snapshot().ToInterp()
+	return jit.Compile(m.src, o)
+}
+
+// Profile returns a snapshot of the gathered profile (seed included).
+func (m *Manager) Profile() profile.Profile { return m.collector.Snapshot() }
+
+// Promotions returns every tier-up so far, in promotion order.
+func (m *Manager) Promotions() []Promotion { return append([]Promotion(nil), m.prom...) }
+
+// Telemetry returns the aggregate tier telemetry.
+func (m *Manager) Telemetry() Telemetry {
+	t := m.tel
+	t.InvocationCycles = append([]int64(nil), m.tel.InvocationCycles...)
+	return t
+}
+
+// Tier returns fn's current tier.
+func (m *Manager) Tier(fn string) Tier { return m.tier[fn] }
+
+// States returns the per-function tier state, sorted by name.
+func (m *Manager) States() []FuncState {
+	out := make([]FuncState, 0, len(m.src.Funcs))
+	for _, fn := range m.src.Funcs {
+		s := FuncState{
+			Name:       fn.Name,
+			Tier:       m.tier[fn.Name],
+			Weight:     m.collector.Weight(fn.Name),
+			PromotedAt: -1,
+		}
+		if s.Tier == TierCompiled {
+			s.PromotedAt = m.promAt[fn.Name]
+		}
+		out = append(out, s)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}

@@ -21,7 +21,9 @@ import (
 	"signext/internal/ir"
 	"signext/internal/jit"
 	"signext/internal/minijava"
+	"signext/internal/profile"
 	"signext/internal/target"
+	"signext/internal/tiered"
 )
 
 // Variant selects the algorithm configuration, matching the paper's Tables 1
@@ -89,6 +91,18 @@ type Options struct {
 	// content-addressed cache (see NewCache) and stores misses into it. Warm
 	// hits are bit-identical to the compile that populated the entry.
 	Cache *Cache
+
+	// Profile, when non-nil, feeds this branch profile to order
+	// determination instead of gathering one (overrides WithProfile).
+	// Profiles persisted by a tiered run (Profile.Marshal, sxelim
+	// -profile-out) round-trip here.
+	Profile Profile
+
+	// Tiered gathers the branch profile with the tiered runtime instead of
+	// a flat profiling run: the program executes under the execution
+	// manager (default thresholds) and the compile uses the profile it
+	// collected. Ignored when Profile is set.
+	Tiered bool
 }
 
 // Cache is a shared, concurrency-safe, content-addressed per-function
@@ -224,28 +238,43 @@ func CompileSource(src string, o Options) (*Result, error) {
 	return CompileProgram(cu.Prog, o)
 }
 
-// CompileProgram compiles an IR program (in 32-bit form) under the given
-// options. The input program is not modified.
-func CompileProgram(prog *ir.Program, o Options) (*Result, error) {
-	var profile interp.Profile
-	if o.WithProfile {
-		p, err := jit.ProfileRun(prog, "main", 0)
-		if err != nil {
-			return nil, err
-		}
-		profile = p
-	}
-	res, err := jit.Compile(prog, jit.Options{
+// jitOptions maps facade options onto the pipeline's, with the resolved
+// branch profile.
+func (o Options) jitOptions(p interp.Profile) jit.Options {
+	return jit.Options{
 		Variant:     o.Variant,
 		Machine:     o.Machine,
 		MaxArrayLen: o.MaxArrayLen,
 		GeneralOpts: !o.NoGeneral,
-		Profile:     profile,
+		Profile:     p,
 		Parallelism: o.Parallelism,
 		Checked:     o.Checked || o.CheckedRun,
 		ElimBudget:  o.ElimBudget,
 		Cache:       o.Cache,
-	})
+	}
+}
+
+// CompileProgram compiles an IR program (in 32-bit form) under the given
+// options. The input program is not modified.
+func CompileProgram(prog *ir.Program, o Options) (*Result, error) {
+	var p interp.Profile
+	switch {
+	case o.Profile != nil:
+		p = o.Profile.ToInterp()
+	case o.Tiered:
+		gathered, err := GatherProfileTiered(prog, TieredOptions{Options: o})
+		if err != nil {
+			return nil, err
+		}
+		p = gathered.ToInterp()
+	case o.WithProfile:
+		ip, err := jit.ProfileRun(prog, "main", 0)
+		if err != nil {
+			return nil, err
+		}
+		p = ip
+	}
+	res, err := jit.Compile(prog, o.jitOptions(p))
 	if err != nil {
 		return nil, err
 	}
@@ -256,4 +285,161 @@ func CompileProgram(prog *ir.Program, o Options) (*Result, error) {
 		}
 	}
 	return r, nil
+}
+
+// Profile is a serializable branch profile: per-function call counts plus
+// per-branch taken/fall-through totals, gathered by the interpreter tier.
+// Marshal/Unmarshal give a deterministic JSON wire form (sxelim -profile-out
+// / -profile-in).
+type Profile = profile.Profile
+
+// ParseProfile decodes a profile serialized with Profile.Marshal.
+func ParseProfile(data []byte) (Profile, error) { return profile.Unmarshal(data) }
+
+// GatherProfile executes the program's main once in the profiling
+// interpreter tier and returns the branch profile (maxSteps 0 = default
+// step budget). The profile of a trapping run's executed prefix is returned
+// alongside the error.
+func GatherProfile(prog *ir.Program, maxSteps int64) (Profile, error) {
+	res, err := interp.Run(prog, "main", interp.Options{
+		Mode:       interp.Mode32,
+		Profile:    true,
+		CountCalls: true,
+		MaxSteps:   maxSteps,
+	})
+	return profile.FromInterp(res.Profile, res.Calls), err
+}
+
+// GatherProfileSource is GatherProfile over MiniJava source.
+func GatherProfileSource(src string, maxSteps int64) (Profile, error) {
+	cu, err := minijava.Compile(src)
+	if err != nil {
+		return nil, err
+	}
+	return GatherProfile(cu.Prog, maxSteps)
+}
+
+// GatherProfileTiered runs the tiered execution manager over the program
+// and returns the profile it collected.
+func GatherProfileTiered(prog *ir.Program, o TieredOptions) (Profile, error) {
+	t, err := RunTiered(prog, o)
+	if err != nil {
+		return nil, err
+	}
+	return t.Profile, nil
+}
+
+// Tier-runtime types re-exported for facade users.
+type (
+	// Promotion records one function's tier-up.
+	Promotion = tiered.Promotion
+	// TierState is one function's tier, hotness weight and promotion point.
+	TierState = tiered.FuncState
+	// TierTelemetry aggregates invocation counts, tier-ups, tier-up wall
+	// time and the per-tier modelled cycle split.
+	TierTelemetry = tiered.Telemetry
+)
+
+// TieredOptions configures RunTiered.
+type TieredOptions struct {
+	Options
+
+	// Invocations is how many times main runs under the execution manager
+	// (default 3).
+	Invocations int
+
+	// HotThreshold is the hotness weight (calls + branch events) at which a
+	// function is promoted out of the interpreter tier. 0 selects the
+	// default; negative never promotes.
+	HotThreshold int64
+
+	// InterpPenalty scales modelled cycles of interpreter-tier frames
+	// (default 10).
+	InterpPenalty int64
+
+	// MaxSteps bounds each invocation's interpreter steps (0 = default).
+	MaxSteps int64
+
+	// Seed warm-starts the profile, typically loaded with ParseProfile;
+	// functions already hot in it promote before the first invocation.
+	Seed Profile
+}
+
+// TieredResult is the outcome of a tiered execution.
+type TieredResult struct {
+	// Result is the steady-state artifact: the whole program compiled with
+	// the gathered profile (bit-identical to the promoted bodies that ran).
+	*Result
+
+	// Outputs holds each invocation's program output, in order. All entries
+	// are identical for a deterministic program — the tier mix never
+	// changes observable behaviour.
+	Outputs []string
+
+	// Promotions lists every tier-up, in promotion order.
+	Promotions []Promotion
+
+	// States is the final per-function tier state, sorted by name.
+	States []TierState
+
+	// Telemetry aggregates the run's tier behaviour.
+	Telemetry TierTelemetry
+
+	// Profile is the gathered branch profile (persist with Marshal).
+	Profile Profile
+}
+
+// RunTiered executes prog under the tiered runtime — every function starts
+// in the profiling interpreter tier; functions crossing the hotness
+// threshold are promoted through the full guarded jit pipeline with the
+// profile gathered so far — and returns the steady-state compile plus tier
+// telemetry. The input program is not modified.
+func RunTiered(prog *ir.Program, o TieredOptions) (*TieredResult, error) {
+	inv := o.Invocations
+	if inv <= 0 {
+		inv = 3
+	}
+	m, err := tiered.New(prog, tiered.Config{
+		Options:       o.jitOptions(nil),
+		Entry:         "main",
+		HotThreshold:  o.HotThreshold,
+		InterpPenalty: o.InterpPenalty,
+		MaxSteps:      o.MaxSteps,
+		Seed:          o.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	tr := &TieredResult{}
+	for i := 0; i < inv; i++ {
+		res, err := m.Invoke()
+		if err != nil {
+			return nil, err
+		}
+		tr.Outputs = append(tr.Outputs, res.Output)
+	}
+	final, err := m.Finalize()
+	if err != nil {
+		return nil, err
+	}
+	tr.Result = &Result{res: final, src: prog}
+	tr.Promotions = m.Promotions()
+	tr.States = m.States()
+	tr.Telemetry = m.Telemetry()
+	tr.Profile = m.Profile()
+	if o.CheckedRun {
+		if err := tr.Result.Check(); err != nil {
+			return tr, err
+		}
+	}
+	return tr, nil
+}
+
+// RunTieredSource is RunTiered over MiniJava source.
+func RunTieredSource(src string, o TieredOptions) (*TieredResult, error) {
+	cu, err := minijava.Compile(src)
+	if err != nil {
+		return nil, err
+	}
+	return RunTiered(cu.Prog, o)
 }

@@ -173,3 +173,118 @@ func TestFacadeCompileCache(t *testing.T) {
 		t.Fatal("compile without a cache reported cache stats")
 	}
 }
+
+func TestFacadeRunTiered(t *testing.T) {
+	tr, err := signext.RunTieredSource(apiSrc, signext.TieredOptions{
+		Options:      signext.Options{Variant: signext.VariantAll, Machine: signext.IA64},
+		Invocations:  4,
+		HotThreshold: 50,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Outputs) != 4 {
+		t.Fatalf("got %d outputs, want 4", len(tr.Outputs))
+	}
+	ref, err := tr.ReferenceRun()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, out := range tr.Outputs {
+		if out != ref {
+			t.Fatalf("invocation %d output diverged:\nref %q\ngot %q", i+1, ref, out)
+		}
+	}
+	if len(tr.Promotions) == 0 || tr.Telemetry.TierUps == 0 {
+		t.Fatal("no promotions under a low threshold")
+	}
+	// The steady-state artifact behaves like a one-shot compile.
+	run, err := tr.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if run.Output != ref {
+		t.Fatalf("steady-state output diverged:\nref %q\ngot %q", ref, run.Output)
+	}
+	if tr.Eliminated() == 0 {
+		t.Fatal("steady-state compile eliminated nothing")
+	}
+	compiled := 0
+	for _, s := range tr.States {
+		if s.Tier.String() == "compiled" {
+			compiled++
+		}
+	}
+	if compiled != tr.Telemetry.TierUps {
+		t.Fatalf("state/telemetry mismatch: %d compiled states, %d tier-ups", compiled, tr.Telemetry.TierUps)
+	}
+}
+
+func TestFacadeProfileRoundTrip(t *testing.T) {
+	tr, err := signext.RunTieredSource(apiSrc, signext.TieredOptions{
+		Options:      signext.Options{Variant: signext.VariantAll, Machine: signext.IA64},
+		HotThreshold: 50,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := tr.Profile.Marshal()
+	back, err := signext.ParseProfile(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Compiling with the decoded profile reproduces the steady-state code.
+	res, err := signext.CompileSource(apiSrc, signext.Options{
+		Variant: signext.VariantAll, Machine: signext.IA64, Profile: back,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, fn := range tr.IR().Funcs {
+		if got, want := res.Format(fn.Name), tr.Format(fn.Name); got != want {
+			t.Fatalf("round-tripped profile compiled %s differently:\n%s\n----\n%s", fn.Name, got, want)
+		}
+	}
+	// A warm-started run promotes before its first invocation.
+	warm, err := signext.RunTieredSource(apiSrc, signext.TieredOptions{
+		Options:      signext.Options{Variant: signext.VariantAll, Machine: signext.IA64},
+		Invocations:  1,
+		HotThreshold: 50,
+		Seed:         back,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, p := range warm.Promotions {
+		if p.Invocation == 0 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("seeded profile did not warm-start any promotion")
+	}
+}
+
+func TestFacadeTieredCompileOption(t *testing.T) {
+	res, err := signext.CompileSource(apiSrc, signext.Options{
+		Variant: signext.VariantAll, Machine: signext.IA64, Tiered: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := res.ReferenceRun()
+	if err != nil {
+		t.Fatal(err)
+	}
+	run, err := res.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if run.Output != ref {
+		t.Fatalf("Options.Tiered compile diverged:\nref %q\ngot %q", ref, run.Output)
+	}
+	if res.Eliminated() == 0 {
+		t.Fatal("nothing eliminated")
+	}
+}
