@@ -15,10 +15,13 @@
 //	benchtab -compilebench -o BENCH_compile.json   # compile-time benchmark (JSON)
 //	benchtab -compilebench -cache -o BENCH_compile.json  # plus cold/warm cache pass
 //	benchtab -compilebench -tiered -o BENCH_compile.json # plus tiered-runtime pass
+//	benchtab -servebench -o BENCH_serve.json       # daemon load benchmark (JSON)
 //	benchtab -validate BENCH_compile.json          # sanity-check an artifact
+//	benchtab -validate BENCH_serve.json            # (kind is detected)
 package main
 
 import (
+	"bytes"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -52,7 +55,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 	useTiered := flag.Bool("tiered", false, "compile-benchmark: add a tiered-runtime pass per workload")
 	hotThreshold := flag.Int64("hot-threshold", 0, "tiered promotion threshold (0 = default)")
 	invocations := flag.Int("invocations", 0, "tiered invocations per workload (0 = default 4)")
-	validate := flag.String("validate", "", "validate an existing BENCH_compile.json artifact and exit")
+	servebench := flag.Bool("servebench", false, "run the compile-daemon load benchmark and emit the BENCH_serve.json artifact")
+	clients := flag.Int("clients", 0, "servebench concurrent clients (0 = default 8)")
+	requests := flag.Int("requests", 0, "servebench load-phase requests (0 = default 200)")
+	programs := flag.Int("programs", 0, "servebench distinct generated programs (0 = default 12)")
+	cacheDir := flag.String("cache-dir", "", "servebench daemon disk cache directory (empty: temp dir)")
+	validate := flag.String("validate", "", "validate an existing BENCH_*.json artifact and exit")
 	if err := flag.Parse(args); err != nil {
 		return 2
 	}
@@ -74,6 +82,19 @@ func run(args []string, stdout, stderr io.Writer) int {
 		if err != nil {
 			fmt.Fprintln(stderr, "benchtab:", err)
 			return 1
+		}
+		// Artifact kind is detected by a field unique to the serve
+		// benchmark; everything else validates as a compile artifact.
+		if bytes.Contains(data, []byte(`"throughput_rps"`)) {
+			s, err := bench.ValidateServeBenchJSON(data)
+			if err != nil {
+				fmt.Fprintln(stderr, "benchtab:", err)
+				return 1
+			}
+			fmt.Fprintf(stdout, "benchtab: %s OK: %d requests over %d programs from %d clients, p50 %.2fms p99 %.2fms, hit rate %.2f, %d degraded, identity pass\n",
+				*validate, s.Requests, s.Programs, s.Clients,
+				float64(s.P50NS)/1e6, float64(s.P99NS)/1e6, s.HitRate, s.DegradedSeen)
+			return 0
 		}
 		r, err := bench.ValidateCompileBenchJSON(data)
 		if err != nil {
@@ -107,6 +128,41 @@ func run(args []string, stdout, stderr io.Writer) int {
 			}
 		}()
 		w = f
+	}
+
+	if *servebench {
+		dir := *cacheDir
+		if dir == "" {
+			d, err := os.MkdirTemp("", "servebench")
+			if err != nil {
+				fmt.Fprintln(stderr, "benchtab:", err)
+				return 1
+			}
+			defer os.RemoveAll(d)
+			dir = d
+		}
+		fmt.Fprintln(stderr, "benchtab: daemon load benchmark...")
+		r, err := bench.ServeBench(bench.ServeBenchOptions{
+			Machine: mach, Clients: *clients, Requests: *requests,
+			Programs: *programs, CacheBytes: *cacheMB << 20, CacheDir: dir,
+		})
+		if err != nil {
+			fmt.Fprintln(stderr, "benchtab:", err)
+			return 1
+		}
+		if err := r.Validate(); err != nil {
+			fmt.Fprintln(stderr, "benchtab:", err)
+			return 1
+		}
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(r); err != nil {
+			fmt.Fprintln(stderr, "benchtab:", err)
+			return 1
+		}
+		fmt.Fprintf(stderr, "benchtab: %d req, %.0f req/s, p50 %.2fms p99 %.2fms, hit rate %.2f, %d degraded, identity pass\n",
+			r.Requests, r.ThroughputRPS, float64(r.P50NS)/1e6, float64(r.P99NS)/1e6, r.HitRate, r.DegradedSeen)
+		return 0
 	}
 
 	if *compilebench {

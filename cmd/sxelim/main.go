@@ -126,7 +126,7 @@ func runMain(args []string, stdout, stderr io.Writer) error {
 			return err
 		}
 	}
-	var cache *signext.Cache
+	var cache signext.CacheHandle
 	if *useCache {
 		cache = signext.NewCache(*cacheMB << 20)
 	}
@@ -339,7 +339,7 @@ func runMain(args []string, stdout, stderr io.Writer) error {
 
 // printCacheStats summarizes compile-cache activity on stderr; a nil cache
 // prints nothing, so program output stays unchanged without -cache.
-func printCacheStats(stderr io.Writer, cache *signext.Cache) {
+func printCacheStats(stderr io.Writer, cache signext.CacheHandle) {
 	if cache == nil {
 		return
 	}

@@ -1,0 +1,134 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"net"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+
+	"signext/internal/serve"
+)
+
+// startDaemon runs the daemon in-process and returns a connected client plus
+// the signal channel that triggers its drain.
+func startDaemon(t *testing.T, args []string) (*serve.Client, chan os.Signal, *bytes.Buffer, *sync.WaitGroup) {
+	t.Helper()
+	sigs := make(chan os.Signal, 1)
+	ready := make(chan net.Addr, 1)
+	var out bytes.Buffer
+	var mu sync.Mutex
+	lockedOut := writerFunc(func(p []byte) (int, error) {
+		mu.Lock()
+		defer mu.Unlock()
+		return out.Write(p)
+	})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		if code := run(args, lockedOut, lockedOut, sigs, ready); code != 0 {
+			t.Errorf("daemon exited %d:\n%s", code, out.String())
+		}
+	}()
+	select {
+	case addr := <-ready:
+		return serve.Dial(addr.Network(), addr.String()), sigs, &out, &wg
+	case <-time.After(10 * time.Second):
+		t.Fatal("daemon never became ready")
+		return nil, nil, nil, nil
+	}
+}
+
+type writerFunc func(p []byte) (int, error)
+
+func (f writerFunc) Write(p []byte) (int, error) { return f(p) }
+
+func TestDaemonServesAndDrains(t *testing.T) {
+	dir := t.TempDir()
+	c, sigs, out, wg := startDaemon(t, []string{
+		"-listen", "127.0.0.1:0",
+		"-cache-dir", filepath.Join(dir, "cache"),
+	})
+
+	if err := c.Health(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := c.Compile(context.Background(), &serve.CompileRequest{
+		Source: "void main() { int i; i = 0; while (i < 5) { print(i*i); i = i + 1; } }",
+		Run:    true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := "0\n1\n4\n9\n16\n"; resp.Output != want {
+		t.Fatalf("output %q, want %q", resp.Output, want)
+	}
+	st, err := c.Stats(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Served != 1 || st.Disk == nil {
+		t.Fatalf("stats after one request: %+v", st)
+	}
+
+	sigs <- syscall.SIGTERM
+	wg.Wait()
+	if s := out.String(); !strings.Contains(s, "draining") || !strings.Contains(s, "served 1") {
+		t.Errorf("drain log incomplete:\n%s", s)
+	}
+}
+
+func TestDaemonUnixSocketAndStaleSocketFile(t *testing.T) {
+	dir, err := os.MkdirTemp("", "sxd")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { os.RemoveAll(dir) })
+	socket := filepath.Join(dir, "d.sock")
+
+	// Debris from a simulated earlier kill -9: a stale socket file the
+	// daemon must clear rather than refuse to start.
+	if err := os.WriteFile(socket, nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	c, sigs, _, wg := startDaemon(t, []string{"-socket", socket})
+	resp, err := c.Compile(context.Background(), &serve.CompileRequest{Source: "void main() { print(1234); }", Run: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Output != "1234\n" {
+		t.Fatalf("output %q", resp.Output)
+	}
+	sigs <- syscall.SIGTERM
+	wg.Wait()
+	if _, err := os.Stat(socket); !os.IsNotExist(err) {
+		t.Errorf("socket file not cleaned up on drain: %v", err)
+	}
+}
+
+func TestDaemonFlagValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+	}{
+		{"no endpoint", nil},
+		{"both endpoints", []string{"-socket", "/tmp/x", "-listen", ":0"}},
+		{"bad variant", []string{"-listen", ":0", "-variant", "nope"}},
+		{"bad machine", []string{"-listen", ":0", "-machine", "vax"}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var out bytes.Buffer
+			if code := run(tc.args, &out, &out, nil, nil); code != 2 {
+				t.Errorf("exit %d, want 2 (output: %s)", code, out.String())
+			}
+		})
+	}
+}

@@ -9,6 +9,7 @@
 //	sxfuzz -seed 1 -count 200 -chaos            # fault-injection self-check
 //	sxfuzz -seed 1 -count 500 -cache            # add the cache-identity property
 //	sxfuzz -seed 1 -count 500 -tiered           # add the profile-identity property
+//	sxfuzz -seed 1 -count 200 -serve            # add the serve-identity property
 package main
 
 import (
@@ -43,6 +44,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		chaos    = fs.Bool("chaos", false, "fault-injection self-check: plant DropExt miscompiles, require the oracle to catch them")
 		cache    = fs.Bool("cache", false, "add the cache-identity property to the metamorphic set (warm compile-cache hits must be bit-identical to cold compiles)")
 		tiered   = fs.Bool("tiered", false, "add the profile-identity property to the metamorphic set (tiered execution must be bit-identical to one-shot compilation fed the gathered profile)")
+		srv      = fs.Bool("serve", false, "add the serve-identity property to the metamorphic set (compile-daemon answers must match direct compiles, healthy and degraded)")
 		verbose  = fs.Bool("v", false, "log campaign progress to stderr")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -66,6 +68,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	cfg.Check.Cache = *cache
 	cfg.Check.Tiered = *tiered
+	cfg.Check.Serve = *srv
 	switch *kind {
 	case "":
 	case "mj", "ir":

@@ -1,0 +1,305 @@
+package bench
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"signext/internal/interp"
+	"signext/internal/ir"
+	"signext/internal/minijava"
+	"signext/internal/progen"
+	"signext/internal/serve"
+)
+
+// ServeBenchOptions parameterizes the daemon load benchmark.
+type ServeBenchOptions struct {
+	Machine ir.Machine
+
+	Clients  int   // concurrent client goroutines (0 = 8)
+	Requests int   // load-phase requests (0 = 200)
+	Programs int   // distinct generated programs; repeats drive cache hits (0 = 12)
+	Seed     int64 // progen seed base (0 = 1)
+
+	CacheBytes int64  // daemon cache budget (0 = 64 MiB)
+	CacheDir   string // disk spill directory ("" = memory-only)
+
+	// DegradedRequests sizes the second phase: requests sent with a 1 ms
+	// deadline while a 2 ms server-side delay fault is active, so every
+	// one floors to Convert64-only. Their answers are still checked
+	// against the reference. 0 = 16, <0 = skip the phase.
+	DegradedRequests int
+}
+
+func (o ServeBenchOptions) withDefaults() ServeBenchOptions {
+	if o.Clients <= 0 {
+		o.Clients = 8
+	}
+	if o.Requests <= 0 {
+		o.Requests = 200
+	}
+	if o.Programs <= 0 {
+		o.Programs = 12
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	if o.DegradedRequests == 0 {
+		o.DegradedRequests = 16
+	}
+	return o
+}
+
+// ServeBenchResult is the BENCH_serve.json artifact: what the daemon did
+// under concurrent load and forced degradation, with every answer checked
+// against the reference interpreter.
+type ServeBenchResult struct {
+	Machine  string `json:"machine"`
+	NumCPU   int    `json:"num_cpu"`
+	Clients  int    `json:"clients"`
+	Programs int    `json:"programs"`
+
+	// Load phase.
+	Requests      int     `json:"requests"`
+	DurationNS    int64   `json:"duration_ns"`
+	ThroughputRPS float64 `json:"throughput_rps"`
+	P50NS         int64   `json:"p50_ns"`
+	P99NS         int64   `json:"p99_ns"`
+	MaxNS         int64   `json:"max_ns"`
+
+	// Degradation phase: forced-floor requests, still answered correctly.
+	DegradedRequests int `json:"degraded_requests"`
+	DegradedSeen     int `json:"degraded_seen"`
+
+	// Daemon-side counters at the end of the run.
+	Served    int64   `json:"served"`
+	Rejected  int64   `json:"rejected"`
+	CacheHits uint64  `json:"cache_hits"`
+	CacheMiss uint64  `json:"cache_misses"`
+	HitRate   float64 `json:"hit_rate"`
+
+	DiskStores  uint64 `json:"disk_stores,omitempty"`
+	DiskLoads   uint64 `json:"disk_loads,omitempty"`
+	Quarantined uint64 `json:"disk_quarantined,omitempty"`
+
+	// Identity: every 200 answer compared with the untouched 32-bit
+	// interpreter. Mismatches must be zero — the daemon degrades, it does
+	// not lie.
+	IdentityChecked int `json:"identity_checked"`
+	Mismatches      int `json:"mismatches"`
+}
+
+// ServeBench stands up an in-process daemon on a loopback listener, drives
+// it with generated programs from concurrent retrying clients, then forces
+// a degradation phase, and reports latency quantiles, cache traffic and the
+// identity verdict.
+func ServeBench(o ServeBenchOptions) (*ServeBenchResult, error) {
+	o = o.withDefaults()
+
+	// Generated corpus with reference outputs.
+	type prog struct{ src, want string }
+	corpus := make([]prog, o.Programs)
+	for i := range corpus {
+		src := progen.MiniJava(o.Seed+int64(i), progen.Config{Stmts: 10, Funcs: 2})
+		cu, err := minijava.Compile(src)
+		if err != nil {
+			return nil, fmt.Errorf("servebench: generated program %d: %w", i, err)
+		}
+		ref, err := interp.Run(cu.Prog, "main", interp.Options{Mode: interp.Mode32})
+		if err != nil {
+			return nil, fmt.Errorf("servebench: reference run %d: %w", i, err)
+		}
+		corpus[i] = prog{src: src, want: ref.Output}
+	}
+
+	var faultOn atomic.Bool
+	variant, err := serve.ParseVariant("all")
+	if err != nil {
+		return nil, err
+	}
+	srv, err := serve.New(serve.Config{
+		Variant:    variant,
+		Machine:    o.Machine,
+		CacheBytes: o.CacheBytes,
+		CacheDir:   o.CacheDir,
+		FaultDelay: func() time.Duration {
+			if faultOn.Load() {
+				// Must comfortably outlast the 1 ms request deadline: the
+				// deadline only takes effect once its timer goroutine fires,
+				// which can lag several ms under -race or on a loaded box.
+				return 20 * time.Millisecond
+			}
+			return 0
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	go srv.Serve(l)
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		srv.Drain(ctx)
+	}()
+
+	res := &ServeBenchResult{
+		Machine:  o.Machine.String(),
+		NumCPU:   runtime.NumCPU(),
+		Clients:  o.Clients,
+		Programs: o.Programs,
+		Requests: o.Requests,
+	}
+
+	var mu sync.Mutex
+	latencies := make([]int64, 0, o.Requests)
+	record := func(p prog, resp *serve.CompileResponse, lat time.Duration, phaseLoad bool) {
+		mu.Lock()
+		defer mu.Unlock()
+		res.IdentityChecked++
+		if resp.Trap != "" || resp.Output != p.want {
+			res.Mismatches++
+		}
+		if resp.Degraded {
+			res.DegradedSeen++
+		}
+		if phaseLoad {
+			latencies = append(latencies, lat.Nanoseconds())
+		}
+	}
+
+	// Load phase: o.Requests requests round-robin over the corpus, fanned
+	// over o.Clients concurrent retrying clients.
+	work := make(chan int, o.Requests)
+	for i := 0; i < o.Requests; i++ {
+		work <- i
+	}
+	close(work)
+	start := time.Now()
+	var wg sync.WaitGroup
+	errs := make(chan error, o.Clients)
+	for c := 0; c < o.Clients; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			cl := serve.Dial("tcp", l.Addr().String())
+			cl.MaxRetries = 20
+			for i := range work {
+				p := corpus[i%len(corpus)]
+				t0 := time.Now()
+				resp, err := cl.Compile(context.Background(), &serve.CompileRequest{Source: p.src, Run: true})
+				if err != nil {
+					errs <- fmt.Errorf("servebench: request %d: %w", i, err)
+					return
+				}
+				record(p, resp, time.Since(t0), true)
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	if err := <-errs; err != nil {
+		return nil, err
+	}
+	res.DurationNS = time.Since(start).Nanoseconds()
+	res.ThroughputRPS = float64(o.Requests) / (float64(res.DurationNS) / 1e9)
+
+	sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
+	if n := len(latencies); n > 0 {
+		res.P50NS = latencies[n/2]
+		res.P99NS = latencies[(n*99)/100]
+		res.MaxNS = latencies[n-1]
+	}
+
+	// Degradation phase: hostile deadlines under an active delay fault.
+	if o.DegradedRequests > 0 {
+		res.DegradedRequests = o.DegradedRequests
+		faultOn.Store(true)
+		cl := serve.Dial("tcp", l.Addr().String())
+		cl.MaxRetries = 20
+		for i := 0; i < o.DegradedRequests; i++ {
+			p := corpus[i%len(corpus)]
+			resp, err := cl.Compile(context.Background(), &serve.CompileRequest{
+				Source: p.src, Run: true, DeadlineMS: 1,
+			})
+			if err != nil {
+				return nil, fmt.Errorf("servebench: degraded request %d: %w", i, err)
+			}
+			record(p, resp, 0, false)
+		}
+		faultOn.Store(false)
+	}
+
+	st := srv.Stats()
+	res.Served = st.Served
+	res.Rejected = st.Rejected
+	res.CacheHits = st.Cache.Hits
+	res.CacheMiss = st.Cache.Misses
+	res.HitRate = st.Cache.HitRate()
+	if st.Disk != nil {
+		res.DiskStores = st.Disk.Stores
+		res.DiskLoads = st.Disk.Loads
+		res.Quarantined = st.Disk.Quarantined
+	}
+	return res, nil
+}
+
+// Validate cross-checks a ServeBenchResult's internal consistency — the
+// same checks `benchtab -validate` applies to a committed artifact.
+func (r *ServeBenchResult) Validate() error {
+	if r.Requests <= 0 || r.Clients <= 0 || r.Programs <= 0 {
+		return fmt.Errorf("servebench: empty run (requests %d, clients %d, programs %d)",
+			r.Requests, r.Clients, r.Programs)
+	}
+	if r.Mismatches != 0 {
+		return fmt.Errorf("servebench: %d INCORRECT answers out of %d checked", r.Mismatches, r.IdentityChecked)
+	}
+	if r.IdentityChecked != r.Requests+r.DegradedRequests {
+		return fmt.Errorf("servebench: checked %d answers, expected %d",
+			r.IdentityChecked, r.Requests+r.DegradedRequests)
+	}
+	if r.Served != int64(r.Requests+r.DegradedRequests) {
+		return fmt.Errorf("servebench: daemon served %d, clients saw %d", r.Served, r.Requests+r.DegradedRequests)
+	}
+	if r.DegradedRequests > 0 && r.DegradedSeen < r.DegradedRequests {
+		return fmt.Errorf("servebench: only %d of %d forced-floor requests degraded",
+			r.DegradedSeen, r.DegradedRequests)
+	}
+	if r.P50NS <= 0 || r.P99NS < r.P50NS || r.MaxNS < r.P99NS {
+		return fmt.Errorf("servebench: implausible latency quantiles p50=%d p99=%d max=%d",
+			r.P50NS, r.P99NS, r.MaxNS)
+	}
+	if r.ThroughputRPS <= 0 {
+		return fmt.Errorf("servebench: throughput %f", r.ThroughputRPS)
+	}
+	if r.HitRate < 0 || r.HitRate > 1 {
+		return fmt.Errorf("servebench: hit rate %f out of range", r.HitRate)
+	}
+	// Repeats over a small corpus must actually hit: with requests >>
+	// programs the warm fraction dominates.
+	if r.Requests >= 4*r.Programs && r.CacheHits == 0 {
+		return fmt.Errorf("servebench: %d requests over %d programs produced no cache hits", r.Requests, r.Programs)
+	}
+	return nil
+}
+
+// ValidateServeBenchJSON parses and validates a BENCH_serve.json artifact.
+func ValidateServeBenchJSON(data []byte) (*ServeBenchResult, error) {
+	var r ServeBenchResult
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, fmt.Errorf("servebench: bad JSON: %w", err)
+	}
+	if err := r.Validate(); err != nil {
+		return nil, err
+	}
+	return &r, nil
+}

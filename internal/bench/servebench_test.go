@@ -1,0 +1,77 @@
+package bench
+
+import (
+	"encoding/json"
+	"testing"
+
+	"signext/internal/ir"
+)
+
+// TestServeBenchSmall runs a scaled-down load + degradation campaign and
+// checks the artifact validates and round-trips through JSON.
+func TestServeBenchSmall(t *testing.T) {
+	r, err := ServeBench(ServeBenchOptions{
+		Machine:          ir.IA64,
+		Clients:          4,
+		Requests:         40,
+		Programs:         5,
+		CacheDir:         t.TempDir(),
+		DegradedRequests: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if r.DiskStores == 0 {
+		t.Errorf("disk cache recorded no stores: %+v", r)
+	}
+	data, err := json.Marshal(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := ValidateServeBenchJSON(data)
+	if err != nil {
+		t.Fatalf("artifact does not re-validate: %v", err)
+	}
+	if r2.Requests != r.Requests || r2.Mismatches != 0 {
+		t.Fatalf("artifact round-trip mangled: %+v", r2)
+	}
+}
+
+// TestServeBenchValidateRejects pins the validator's teeth: an artifact
+// claiming mismatches, inconsistent counts or absurd quantiles must fail.
+func TestServeBenchValidateRejects(t *testing.T) {
+	good := ServeBenchResult{
+		Machine: "ia64", NumCPU: 4, Clients: 2, Programs: 3,
+		Requests: 12, DurationNS: 1e6, ThroughputRPS: 100,
+		P50NS: 1000, P99NS: 2000, MaxNS: 3000,
+		DegradedRequests: 2, DegradedSeen: 2,
+		Served: 14, IdentityChecked: 14, HitRate: 0.5, CacheHits: 9,
+	}
+	if err := good.Validate(); err != nil {
+		t.Fatalf("baseline artifact rejected: %v", err)
+	}
+	mutate := []struct {
+		name string
+		f    func(*ServeBenchResult)
+	}{
+		{"mismatch", func(r *ServeBenchResult) { r.Mismatches = 1 }},
+		{"unchecked answers", func(r *ServeBenchResult) { r.IdentityChecked = 3 }},
+		{"served drift", func(r *ServeBenchResult) { r.Served = 99 }},
+		{"floors did not degrade", func(r *ServeBenchResult) { r.DegradedSeen = 0 }},
+		{"inverted quantiles", func(r *ServeBenchResult) { r.P99NS = r.P50NS - 1 }},
+		{"hit rate out of range", func(r *ServeBenchResult) { r.HitRate = 1.5 }},
+		{"no hits despite repeats", func(r *ServeBenchResult) { r.CacheHits = 0 }},
+	}
+	for _, m := range mutate {
+		t.Run(m.name, func(t *testing.T) {
+			bad := good
+			m.f(&bad)
+			if err := bad.Validate(); err == nil {
+				t.Fatal("corrupt artifact validated")
+			}
+		})
+	}
+}

@@ -1,0 +1,203 @@
+package codecache
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// stringCodec is a trivial test codec: payloads are strings; "skipme" values
+// are declined; decode rejects bodies containing "poison".
+type stringCodec struct{}
+
+func (stringCodec) Encode(v any) ([]byte, bool) {
+	s := v.(string)
+	if s == "skipme" {
+		return nil, false
+	}
+	return []byte(s), true
+}
+
+func (stringCodec) Decode(data []byte) (any, int64, error) {
+	if strings.Contains(string(data), "poison") {
+		return nil, 0, fmt.Errorf("poisoned payload")
+	}
+	return string(data), int64(len(data)), nil
+}
+
+func openTestStore(t *testing.T) *DiskStore {
+	t.Helper()
+	s, err := OpenDiskStore(t.TempDir(), stringCodec{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestDiskStoreRoundTrip(t *testing.T) {
+	s := openTestStore(t)
+	k := keyOf("a")
+	s.Store(k, "hello")
+	v, size, ok := s.Load(k)
+	if !ok || v.(string) != "hello" || size != 5 {
+		t.Fatalf("Load = (%v, %d, %v), want (hello, 5, true)", v, size, ok)
+	}
+	if _, _, ok := s.Load(keyOf("missing")); ok {
+		t.Fatal("hit on a never-stored key")
+	}
+	st := s.Stats()
+	if st.Stores != 1 || st.Loads != 1 || st.LoadMisses != 1 {
+		t.Fatalf("stats %+v, want 1 store, 1 load, 1 miss", st)
+	}
+	// The store survives reopening: a fresh handle over the same directory
+	// serves the entry (this is the whole point).
+	s2, err := OpenDiskStore(s.Dir(), stringCodec{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, _, ok := s2.Load(k); !ok || v.(string) != "hello" {
+		t.Fatal("entry lost across reopen")
+	}
+}
+
+func TestDiskStoreCodecSkip(t *testing.T) {
+	s := openTestStore(t)
+	s.Store(keyOf("x"), "skipme")
+	if _, _, ok := s.Load(keyOf("x")); ok {
+		t.Fatal("declined payload was persisted")
+	}
+	if st := s.Stats(); st.Skipped != 1 || st.Stores != 0 {
+		t.Fatalf("stats %+v, want Skipped=1 Stores=0", st)
+	}
+}
+
+// corrupt flips one byte of the stored entry file for k.
+func corrupt(t *testing.T, s *DiskStore, k Key, off int) {
+	t.Helper()
+	path := s.path(k)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if off < 0 {
+		off = len(data) + off
+	}
+	data[off] ^= 0xff
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDiskStoreCorruptionQuarantined(t *testing.T) {
+	cases := []struct {
+		name string
+		muck func(t *testing.T, s *DiskStore, k Key)
+	}{
+		{"flipped payload byte", func(t *testing.T, s *DiskStore, k Key) { corrupt(t, s, k, -1) }},
+		{"flipped hash byte", func(t *testing.T, s *DiskStore, k Key) { corrupt(t, s, k, len(diskMagic)) }},
+		{"bad magic", func(t *testing.T, s *DiskStore, k Key) { corrupt(t, s, k, 0) }},
+		{"truncated file", func(t *testing.T, s *DiskStore, k Key) {
+			if err := os.Truncate(s.path(k), 10); err != nil {
+				t.Fatal(err)
+			}
+		}},
+		{"decode rejection", func(t *testing.T, s *DiskStore, k Key) {
+			// Valid magic and hash over a body the codec rejects: simulates a
+			// schema-level corruption the hash cannot catch.
+			s.Store(k, "poisoned payload ok hash") // contains "poison"
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			s := openTestStore(t)
+			k := keyOf("victim")
+			s.Store(k, "valuable")
+			tc.muck(t, s, k)
+			if _, _, ok := s.Load(k); ok && tc.name != "decode rejection" {
+				t.Fatal("corrupt entry served")
+			}
+			if tc.name == "decode rejection" {
+				if _, _, ok := s.Load(k); ok {
+					t.Fatal("poisoned entry served")
+				}
+			}
+			st := s.Stats()
+			if st.Quarantined == 0 {
+				t.Fatalf("stats %+v: corruption not quarantined", st)
+			}
+			// The evidence is preserved next to the entry…
+			q, _ := filepath.Glob(filepath.Join(s.Dir(), "*", "*.quarantine"))
+			if len(q) == 0 {
+				t.Fatal("no .quarantine file left behind")
+			}
+			// …and the slot is reusable: a fresh store + load recovers.
+			s.Store(k, "recompiled")
+			if v, _, ok := s.Load(k); !ok || v.(string) != "recompiled" {
+				t.Fatal("slot not reusable after quarantine")
+			}
+		})
+	}
+}
+
+// TestDiskStoreCrashLeftoversSwept simulates a writer killed mid-write: a
+// stray temp file must be swept by Open and never served as an entry.
+func TestDiskStoreCrashLeftoversSwept(t *testing.T) {
+	s := openTestStore(t)
+	k := keyOf("a")
+	s.Store(k, "committed")
+	sub := filepath.Dir(s.path(k))
+	tmp := filepath.Join(sub, "halfwrite.tmp")
+	if err := os.WriteFile(tmp, []byte("torn"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := OpenDiskStore(s.Dir(), stringCodec{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(tmp); !os.IsNotExist(err) {
+		t.Fatal("stray temp file not swept on open")
+	}
+	if v, _, ok := s2.Load(k); !ok || v.(string) != "committed" {
+		t.Fatal("committed entry lost")
+	}
+}
+
+func TestSpillWriteThroughAndPromotion(t *testing.T) {
+	disk := openTestStore(t)
+	sp := NewSpill(NewSharded(1<<20, 4), disk)
+	k := keyOf("f")
+	sp.Put(k, "compiled", 8)
+	if v, ok := sp.Get(k); !ok || v.(string) != "compiled" {
+		t.Fatal("memory hit failed")
+	}
+	// A "restarted process": fresh memory over the same disk store.
+	sp2 := NewSpill(NewSharded(1<<20, 4), disk)
+	if v, ok := sp2.Get(k); !ok || v.(string) != "compiled" {
+		t.Fatal("warm start from disk failed")
+	}
+	// Promotion: the disk hit is now in memory; a second Get must not touch
+	// disk again.
+	loadsBefore := disk.Stats().Loads
+	if _, ok := sp2.Get(k); !ok {
+		t.Fatal("promoted entry lost")
+	}
+	if disk.Stats().Loads != loadsBefore {
+		t.Fatal("second Get went to disk; promotion into memory failed")
+	}
+}
+
+func TestSpillRejectParanoidQuarantinesDisk(t *testing.T) {
+	disk := openTestStore(t)
+	sp := NewSpill(New(1<<20), disk)
+	k := keyOf("bad")
+	sp.Put(k, "entry", 8)
+	sp.RejectParanoid(k)
+	if _, ok := sp.Get(k); ok {
+		t.Fatal("rejected entry resurrected from disk")
+	}
+	if disk.Stats().Quarantined == 0 {
+		t.Fatal("persisted copy of rejected entry not quarantined")
+	}
+}

@@ -1,0 +1,131 @@
+package codecache
+
+// Interface is the cache contract the jit driver (and any other memoizing
+// consumer) compiles against: a flat Cache, a Sharded cache, and a disk-backed
+// Spill all satisfy it, so the choice of cache topology is a wiring decision,
+// not a compiler change.
+type Interface interface {
+	Get(k Key) (any, bool)
+	Put(k Key, v any, size int64)
+	Remove(k Key)
+	RejectParanoid(k Key)
+	SetParanoid(on bool)
+	Paranoid() bool
+	Stats() Stats
+	Len() int
+}
+
+var (
+	_ Interface = (*Cache)(nil)
+	_ Interface = (*Sharded)(nil)
+)
+
+// Sharded is a content-address-sharded cache: keys route to one of NShards
+// independent LRU shards by their first byte. Since keys are SHA-256 outputs,
+// the first byte is uniformly distributed and shards stay balanced without
+// any coordination. Each shard has its own lock, so concurrent compiles
+// touching different functions almost never contend — the property a
+// many-tenant compile daemon needs from its one hot shared cache.
+//
+// Eviction is per shard (each shard is bounded at maxBytes/NShards), which
+// approximates global LRU: a key can be evicted while a colder key survives
+// in another shard, but only within the capacity of a single shard.
+type Sharded struct {
+	shards []*Cache
+	mask   uint8
+}
+
+// DefaultShards is the shard count NewSharded uses when asked for 0. Sixteen
+// shards keep worst-case contention at 1/16th of a flat cache while the
+// per-shard byte bound stays large enough that sharded eviction tracks
+// global LRU closely.
+const DefaultShards = 16
+
+// NewSharded returns a cache bounded at maxBytes total, split over nShards
+// independent shards. nShards is rounded up to a power of two (so routing is
+// a mask, not a modulo) and clamped to [1, 256]; 0 selects DefaultShards.
+func NewSharded(maxBytes int64, nShards int) *Sharded {
+	if nShards <= 0 {
+		nShards = DefaultShards
+	}
+	if nShards > 256 {
+		nShards = 256
+	}
+	pow := 1
+	for pow < nShards {
+		pow <<= 1
+	}
+	per := maxBytes / int64(pow)
+	s := &Sharded{shards: make([]*Cache, pow), mask: uint8(pow - 1)}
+	for i := range s.shards {
+		s.shards[i] = New(per)
+	}
+	return s
+}
+
+// shard routes a key to its shard: SHA-256 keys are uniform in every byte, so
+// the first byte masked is a balanced router.
+func (s *Sharded) shard(k Key) *Cache { return s.shards[k[0]&s.mask] }
+
+// NShards returns the shard count.
+func (s *Sharded) NShards() int { return len(s.shards) }
+
+// Get returns the payload stored under k and marks it most recently used
+// within its shard.
+func (s *Sharded) Get(k Key) (any, bool) { return s.shard(k).Get(k) }
+
+// Put stores v under k in its shard, evicting that shard's LRU entries as
+// needed.
+func (s *Sharded) Put(k Key, v any, size int64) { s.shard(k).Put(k, v, size) }
+
+// Remove drops the entry stored under k, if any.
+func (s *Sharded) Remove(k Key) { s.shard(k).Remove(k) }
+
+// RejectParanoid drops the entry stored under k and records a paranoid
+// verification rejection on its shard.
+func (s *Sharded) RejectParanoid(k Key) { s.shard(k).RejectParanoid(k) }
+
+// SetParanoid toggles paranoid mode on every shard.
+func (s *Sharded) SetParanoid(on bool) {
+	for _, c := range s.shards {
+		c.SetParanoid(on)
+	}
+}
+
+// Paranoid reports whether paranoid re-verification is enabled.
+func (s *Sharded) Paranoid() bool { return s.shards[0].Paranoid() }
+
+// Len returns the current number of entries across all shards.
+func (s *Sharded) Len() int {
+	n := 0
+	for _, c := range s.shards {
+		n += c.Len()
+	}
+	return n
+}
+
+// Stats returns one consistent snapshot of the summed counters: every shard
+// lock is held simultaneously (acquired in shard order, so concurrent Stats
+// calls cannot deadlock) while the counters are read. Summing per-shard
+// snapshots taken one at a time would tear — a Put racing between two shard
+// reads shows up in Bytes but not Entries — and torn stats are exactly what a
+// monitoring endpoint must never serve.
+func (s *Sharded) Stats() Stats {
+	for _, c := range s.shards {
+		c.mu.Lock()
+	}
+	var t Stats
+	for _, c := range s.shards {
+		t.Hits += c.hits
+		t.Misses += c.misses
+		t.Evictions += c.evictions
+		t.ParanoidRejects += c.paranoidRejects
+		t.Entries += c.ll.Len()
+		t.Bytes += c.bytes
+		t.CapacityBytes += c.max
+	}
+	for _, c := range s.shards {
+		c.mu.Unlock()
+	}
+	return t
+}

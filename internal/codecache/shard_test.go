@@ -1,0 +1,178 @@
+package codecache
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func keyOf(s string) Key {
+	w := NewKeyWriter()
+	w.String(s)
+	return w.Key()
+}
+
+func TestShardedRouting(t *testing.T) {
+	s := NewSharded(1<<20, 16)
+	if s.NShards() != 16 {
+		t.Fatalf("NShards = %d, want 16", s.NShards())
+	}
+	// Every key lands in exactly one shard and is found again.
+	for i := 0; i < 500; i++ {
+		k := keyOf(fmt.Sprintf("key-%d", i))
+		s.Put(k, i, 10)
+		v, ok := s.Get(k)
+		if !ok || v.(int) != i {
+			t.Fatalf("key %d: got (%v, %v)", i, v, ok)
+		}
+	}
+	if s.Len() != 500 {
+		t.Fatalf("Len = %d, want 500", s.Len())
+	}
+	// With 500 SHA-256 keys over 16 shards, every shard should be populated.
+	for i, c := range s.shards {
+		if c.Len() == 0 {
+			t.Errorf("shard %d empty: keys are not spreading", i)
+		}
+	}
+}
+
+func TestShardedShardCountClamps(t *testing.T) {
+	for _, tc := range []struct{ ask, want int }{
+		{0, DefaultShards}, {1, 1}, {3, 4}, {16, 16}, {17, 32}, {1000, 256},
+	} {
+		if got := NewSharded(1<<20, tc.ask).NShards(); got != tc.want {
+			t.Errorf("NewSharded(_, %d).NShards() = %d, want %d", tc.ask, got, tc.want)
+		}
+	}
+}
+
+func TestShardedParanoidAndRemove(t *testing.T) {
+	s := NewSharded(1<<20, 4)
+	if s.Paranoid() {
+		t.Fatal("paranoid on by default")
+	}
+	s.SetParanoid(true)
+	if !s.Paranoid() {
+		t.Fatal("SetParanoid(true) not visible")
+	}
+	k := keyOf("x")
+	s.Put(k, "v", 8)
+	s.RejectParanoid(k)
+	if _, ok := s.Get(k); ok {
+		t.Fatal("entry survived RejectParanoid")
+	}
+	if got := s.Stats().ParanoidRejects; got != 1 {
+		t.Fatalf("ParanoidRejects = %d, want 1", got)
+	}
+	s.Put(k, "v", 8)
+	s.Remove(k)
+	if _, ok := s.Get(k); ok {
+		t.Fatal("entry survived Remove")
+	}
+}
+
+// TestShardedStatsConsistentSnapshot hammers a sharded cache from many
+// goroutines while concurrently taking Stats snapshots, asserting on every
+// snapshot the cross-counter invariants that only hold if the snapshot is a
+// single consistent cut (all shard locks held at once):
+//
+//   - Bytes == Entries * entrySize: every entry has the same size and the
+//     capacity is set so nothing is evicted, so a snapshot that interleaves
+//     with a Put (bytes charged, entry counted — both under the shard lock)
+//     must see the two move together;
+//   - Bytes never exceeds CapacityBytes;
+//   - cumulative counters are monotone non-decreasing across snapshots.
+//
+// Run under -race this also proves the lock-all Stats path is race-clean
+// against every mutating method.
+func TestShardedStatsConsistentSnapshot(t *testing.T) {
+	const (
+		entrySize = 64
+		keys      = 512
+		workers   = 8
+		opsPer    = 4000
+	)
+	// Capacity well above keys*entrySize per shard: no evictions, so
+	// Bytes == Entries*entrySize must hold exactly.
+	s := NewSharded(int64(keys*entrySize*16), 16)
+
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	var gets, puts atomic.Int64
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < opsPer; i++ {
+				k := keyOf(fmt.Sprintf("k-%d", (w*31+i)%keys))
+				if _, ok := s.Get(k); !ok {
+					s.Put(k, i, entrySize)
+					puts.Add(1)
+				}
+				gets.Add(1)
+			}
+		}(w)
+	}
+
+	var snapErr error
+	var snapWG sync.WaitGroup
+	snapWG.Add(1)
+	go func() {
+		defer snapWG.Done()
+		var prev Stats
+		for !stop.Load() {
+			st := s.Stats()
+			if st.Bytes != int64(st.Entries)*entrySize {
+				snapErr = fmt.Errorf("torn snapshot: Bytes=%d, Entries=%d (want Bytes == Entries*%d)", st.Bytes, st.Entries, entrySize)
+				return
+			}
+			if st.Bytes > st.CapacityBytes {
+				snapErr = fmt.Errorf("Bytes=%d exceeds CapacityBytes=%d", st.Bytes, st.CapacityBytes)
+				return
+			}
+			if st.Hits < prev.Hits || st.Misses < prev.Misses || st.Evictions < prev.Evictions {
+				snapErr = fmt.Errorf("counters went backwards: %+v then %+v", prev, st)
+				return
+			}
+			prev = st
+		}
+	}()
+
+	wg.Wait()
+	stop.Store(true)
+	snapWG.Wait()
+	if snapErr != nil {
+		t.Fatal(snapErr)
+	}
+
+	// Quiescent totals must reconcile exactly with the issued operations.
+	st := s.Stats()
+	if st.Hits+st.Misses != uint64(gets.Load()) {
+		t.Fatalf("Hits+Misses = %d, want %d gets", st.Hits+st.Misses, gets.Load())
+	}
+	if st.Misses != uint64(puts.Load()) {
+		t.Fatalf("Misses = %d, want %d (one put per miss)", st.Misses, puts.Load())
+	}
+	if st.Entries != keys || st.Evictions != 0 {
+		t.Fatalf("Entries=%d Evictions=%d, want %d and 0", st.Entries, st.Evictions, keys)
+	}
+}
+
+// TestShardedEvictionStaysBounded pins per-shard eviction: a sharded cache
+// under byte pressure evicts within shards and never exceeds its bound.
+func TestShardedEvictionStaysBounded(t *testing.T) {
+	const entrySize = 100
+	s := NewSharded(16*4*entrySize, 16) // 4 entries per shard
+	for i := 0; i < 2000; i++ {
+		s.Put(keyOf(fmt.Sprintf("e-%d", i)), i, entrySize)
+	}
+	st := s.Stats()
+	if st.Evictions == 0 {
+		t.Fatal("expected evictions under byte pressure")
+	}
+	if st.Bytes > st.CapacityBytes {
+		t.Fatalf("Bytes=%d exceeds capacity %d", st.Bytes, st.CapacityBytes)
+	}
+}

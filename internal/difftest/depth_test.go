@@ -1,0 +1,35 @@
+package difftest
+
+import (
+	"testing"
+
+	"signext/internal/minijava"
+)
+
+// TestDepthExceededIsExpectedEqual: a program that blows the interpreter's
+// call-depth bound must flow through the differential properties as an
+// expected-equal outcome — reference and optimized builds trap identically —
+// not as a failure. This pins the recursion bound (interp.Options.MaxDepth)
+// as a deterministic, mode-independent trap.
+func TestDepthExceededIsExpectedEqual(t *testing.T) {
+	src := `
+int down(int n) {
+	if (n <= 0) return 0;
+	return down(n - 1) + 1;
+}
+void main() {
+	print(down(30000));
+}`
+	cu, err := minijava.Compile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := &Program{Seed: 0, Kind: "mj", Source: src, Prog: cu.Prog}
+	fails, skipped := Check(p, Config{})
+	if skipped {
+		t.Fatal("depth-bounded program skipped entirely")
+	}
+	for _, f := range fails {
+		t.Errorf("unexpected failure: %s", f.String())
+	}
+}

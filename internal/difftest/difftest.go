@@ -104,6 +104,15 @@ type Config struct {
 	// gathered profile, at every worker count.
 	Tiered bool
 
+	// Serve adds the serve-identity property: the same program submitted to
+	// an in-process compile daemon (internal/serve) must produce the same
+	// static results and the same output/trap as the direct jit compile —
+	// and a second request forced to the degraded floor by a hostile
+	// deadline must still reproduce the reference output. The daemon is
+	// exercised through its real HTTP handler, not by calling into the
+	// pipeline directly.
+	Serve bool
+
 	// OracleOnly restricts Check to the differential oracle and fallback
 	// properties — the fast mode for high-throughput campaigns; the
 	// metamorphic properties then run on a sample, not every program.
@@ -240,6 +249,14 @@ func Check(p *Program, cfg Config) (fails []Failure, skipped bool) {
 						fail("cache-identity", mach, "warm cache hit (par=%d) differs from the cold compile", par)
 					}
 				}
+			}
+		}
+
+		// Serve identity: the daemon's answer over its real HTTP handler
+		// must agree with the direct compile, healthy and degraded.
+		if cfg.Serve {
+			if d := serveDetail(p, mach, res, rep, cfg); d != "" {
+				fail("serve-identity", mach, "%s", d)
 			}
 		}
 

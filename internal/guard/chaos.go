@@ -2,6 +2,10 @@ package guard
 
 import (
 	"math/rand"
+	"os"
+	"path/filepath"
+	"sort"
+	"time"
 
 	"signext/internal/chains"
 	"signext/internal/ir"
@@ -132,4 +136,45 @@ func (in *Injector) DropEdge(fn *ir.Func) bool {
 	k := in.rng.Intn(len(b.Preds))
 	b.Preds = append(b.Preds[:k], b.Preds[k+1:]...)
 	return true
+}
+
+// CorruptDiskEntry damages one persisted cache entry under dir — the "disk
+// artifact rotted (or a torn write slipped past rename atomicity)" fault.
+// Half the time it flips one byte, half the time it truncates the file to a
+// random prefix; either way the store's SHA-256 (or decode) check must catch
+// it on the next load and quarantine the file. Entries already quarantined
+// are skipped, so repeated injection walks through the intact set. Returns
+// the damaged path, and false when no intact entry exists.
+func (in *Injector) CorruptDiskEntry(dir string) (string, bool) {
+	matches, _ := filepath.Glob(filepath.Join(dir, "*", "*.sxe"))
+	sort.Strings(matches) // glob order is filesystem-dependent; the seed must rule
+	path, ok := pick(in.rng, matches)
+	if !ok {
+		return "", false
+	}
+	data, err := os.ReadFile(path)
+	if err != nil || len(data) == 0 {
+		return "", false
+	}
+	if in.rng.Intn(2) == 0 {
+		data[in.rng.Intn(len(data))] ^= 1 << uint(in.rng.Intn(8))
+	} else {
+		data = data[:in.rng.Intn(len(data))]
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return "", false
+	}
+	return path, true
+}
+
+// Delay returns a seeded random duration in [0, max) — the "request got
+// slow" fault a deadline-chaos campaign injects into a server's compile
+// path to force degradation. Centralizing it here keeps deadline chaos as
+// reproducible as every other fault kind: the same seed stalls the same
+// requests by the same amounts.
+func (in *Injector) Delay(max time.Duration) time.Duration {
+	if max <= 0 {
+		return 0
+	}
+	return time.Duration(in.rng.Int63n(int64(max)))
 }

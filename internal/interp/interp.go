@@ -91,7 +91,19 @@ type Options struct {
 
 	// TraceLimit bounds the number of Trace callbacks (0 = 100000).
 	TraceLimit int64
+
+	// MaxDepth bounds the call-frame depth. The interpreter recurses one Go
+	// frame per interpreted call, so an unbounded deeply recursive program
+	// would grow the Go stack without limit; past the bound the run returns
+	// a structured ErrDepthExceeded instead. 0 selects DefaultMaxDepth;
+	// negative means unlimited (tests only).
+	MaxDepth int
 }
+
+// DefaultMaxDepth is the call-depth bound when Options.MaxDepth is 0. Deep
+// enough for any real workload (each frame is one interpreted call, not one
+// loop iteration), shallow enough that the Go stack stays modest.
+const DefaultMaxDepth = 10000
 
 // Result is the outcome of a run.
 type Result struct {
@@ -121,6 +133,7 @@ var (
 	ErrNilArray   = errors.New("interp: nil array reference")
 	ErrNoFunction = errors.New("interp: unknown function")
 	ErrTrap       = errors.New("interp: trap executed")
+	ErrDepth      = errors.New("interp: call depth exceeded")
 )
 
 type array struct {
@@ -144,13 +157,15 @@ type cell struct {
 const defaultMaxSteps = 1 << 31
 
 type machine struct {
-	prog    *ir.Program
-	opt     Options
-	mode    Mode // semantics of the currently executing function
-	globals []cell
-	out     strings.Builder
-	res     Result
-	maxLen  int64
+	prog     *ir.Program
+	opt      Options
+	mode     Mode // semantics of the currently executing function
+	globals  []cell
+	out      strings.Builder
+	res      Result
+	maxLen   int64
+	depth    int // current call-frame depth
+	maxDepth int // resolved Options.MaxDepth (<= 0 means unlimited)
 }
 
 // Run executes prog starting at function entry (no arguments, typically
@@ -167,6 +182,10 @@ func Run(prog *ir.Program, entry string, opt Options) (*Result, error) {
 	m.maxLen = opt.MaxArrayLen
 	if m.maxLen == 0 {
 		m.maxLen = math.MaxInt32
+	}
+	m.maxDepth = opt.MaxDepth
+	if m.maxDepth == 0 {
+		m.maxDepth = DefaultMaxDepth
 	}
 	if opt.MaxSteps == 0 {
 		opt.MaxSteps = defaultMaxSteps
@@ -191,6 +210,11 @@ func Run(prog *ir.Program, entry string, opt Options) (*Result, error) {
 // runs mix Mode32 interpreter-tier and Mode64 compiled functions in one
 // program), counts the entry, and restores the caller's mode on return.
 func (m *machine) call(fn *ir.Func, args []slot) (slot, error) {
+	if m.maxDepth > 0 && m.depth >= m.maxDepth {
+		return slot{}, fmt.Errorf("%w: %d frames at call to %s", ErrDepth, m.depth, fn.Name)
+	}
+	m.depth++
+	defer func() { m.depth-- }()
 	if m.res.Calls != nil {
 		m.res.Calls[fn.Name]++
 	}

@@ -101,6 +101,37 @@ func TestParseFormatRoundTrip(t *testing.T) {
 	}
 }
 
+// TestConstWidthRoundTrip pins the width of constants across Format/Parse.
+// A bare "const" is W32 by parser default; every other width must print its
+// suffix, or a 64-bit constant silently narrows on the way back in — which
+// changes how the optimizer classifies it. Text-based persistence (the disk
+// compile cache, the daemon's IR intake) rides on this.
+func TestConstWidthRoundTrip(t *testing.T) {
+	b := NewFunc("f")
+	b.Fn.RetW = W64
+	wide := b.Const(W64, 2654435761)
+	b.Const(W32, 7)
+	b.Ret(wide)
+
+	text := b.Fn.Format()
+	fn2, err := ParseFunc(text)
+	if err != nil {
+		t.Fatalf("reparse: %v\n%s", err, text)
+	}
+	var got []Width
+	fn2.ForEachInstr(func(_ *Block, ins *Instr) {
+		if ins.Op == OpConst {
+			got = append(got, ins.W)
+		}
+	})
+	if len(got) != 2 || got[0] != W64 || got[1] != W32 {
+		t.Fatalf("const widths %v after round trip, want [W64 W32]\n%s", got, text)
+	}
+	if fn2.Format() != text {
+		t.Fatalf("format not a fixpoint:\n%s\n---\n%s", text, fn2.Format())
+	}
+}
+
 func TestParseFloatMarker(t *testing.T) {
 	fn, err := ParseFunc(`func f() f64 {
 b0:

@@ -23,6 +23,15 @@ func (i *Instr) String() string {
 		fmt.Fprintf(&sb, ".%d.%s", i.W.Bits(), i.Cond)
 	case OpFBr:
 		fmt.Fprintf(&sb, ".%s", i.Cond)
+	case OpConst:
+		// The parser defaults a bare "const" to W32, so only non-default
+		// widths need the suffix — but they NEED it: a 64-bit constant
+		// printed bare would silently re-parse as a 32-bit one, changing
+		// how the optimizer classifies it (a semantic round-trip loss the
+		// serve-identity property caught on generated IR).
+		if i.W != 0 && i.W != W32 {
+			fmt.Fprintf(&sb, ".%d", i.W.Bits())
+		}
 	}
 	// Float memory/call variants carry a .f marker so the textual form
 	// round-trips.

@@ -102,6 +102,12 @@ func payloadSize(p *cachePayload) int64 {
 // intentionally perturbable (fault injection) and must neither consume nor
 // poison shared entries.
 func compileFuncCached(fn *ir.Func, o Options) funcOutcome {
+	// Deadline gone: degrade to the Convert64-only floor. Checked before any
+	// cache traffic — a floored outcome must never be stored under (or
+	// served as) the full compile's key.
+	if o.ctxDone() {
+		return compileFuncFloor(fn, o)
+	}
 	if o.Cache == nil || o.PhaseHook != nil {
 		return compileFunc(fn, o)
 	}

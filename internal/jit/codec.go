@@ -1,0 +1,83 @@
+package jit
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"signext/internal/codecache"
+	"signext/internal/extelim"
+	"signext/internal/ir"
+)
+
+// PayloadCodec returns the codec that serializes per-function compile-cache
+// entries for a codecache.DiskStore, making the warm set survive process
+// restarts. The optimized function travels as its textual IR form —
+// Format/ParseFunc round-trip to a fixpoint (pinned by the ir package), so a
+// reloaded entry is bit-identical, by Format, to the one stored.
+//
+// Entries carrying fallback records are not persisted: a fallback's
+// diagnosis (panic value, stack, snapshot) is context the next process
+// cannot use, and such entries are rare and cheap to recompile. Persistence
+// is an optimization; declining an entry is always safe.
+func PayloadCodec() codecache.Codec { return payloadCodec{} }
+
+type payloadCodec struct{}
+
+// wirePayload is the persisted form of a cachePayload. The schema is
+// versioned: a decode of any other version is a corruption-class error, so
+// stale artifacts from older binaries are quarantined, not misread.
+type wirePayload struct {
+	Version    int           `json:"version"`
+	Func       string        `json:"func"` // optimized function, IR text
+	Stats      extelim.Stats `json:"stats"`
+	Records    []PhaseRecord `json:"records"`
+	StaticExts int           `json:"static_exts"`
+}
+
+const wirePayloadVersion = 1
+
+func (payloadCodec) Encode(v any) ([]byte, bool) {
+	p, ok := v.(*cachePayload)
+	if !ok || len(p.fallbacks) > 0 {
+		return nil, false
+	}
+	data, err := json.Marshal(&wirePayload{
+		Version:    wirePayloadVersion,
+		Func:       p.fn.Format(),
+		Stats:      p.stats,
+		Records:    p.records,
+		StaticExts: p.staticExts,
+	})
+	if err != nil {
+		return nil, false
+	}
+	return data, true
+}
+
+func (payloadCodec) Decode(data []byte) (any, int64, error) {
+	var w wirePayload
+	if err := json.Unmarshal(data, &w); err != nil {
+		return nil, 0, fmt.Errorf("jit: bad payload JSON: %w", err)
+	}
+	if w.Version != wirePayloadVersion {
+		return nil, 0, fmt.Errorf("jit: unsupported payload version %d (want %d)", w.Version, wirePayloadVersion)
+	}
+	fn, err := ir.ParseFunc(w.Func)
+	if err != nil {
+		return nil, 0, fmt.Errorf("jit: bad payload IR: %w", err)
+	}
+	// The hash already proved the bytes intact; the shallow verifier
+	// additionally proves the IR structurally sane, so a well-hashed but
+	// semantically garbled artifact (wrong-version writer, hostile file)
+	// still cannot enter the cache.
+	if err := fn.Verify(); err != nil {
+		return nil, 0, fmt.Errorf("jit: payload IR fails verification: %w", err)
+	}
+	p := &cachePayload{
+		fn:         fn,
+		stats:      w.Stats,
+		records:    w.Records,
+		staticExts: w.StaticExts,
+	}
+	return p, payloadSize(p), nil
+}

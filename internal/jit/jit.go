@@ -18,6 +18,7 @@
 package jit
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sort"
@@ -143,8 +144,25 @@ type Options struct {
 	// fallback records, so warm results are bit-identical to cold ones. A
 	// non-nil PhaseHook bypasses the cache entirely. With
 	// Cache.SetParanoid(true) every hit is re-verified by the deep guard
-	// verifier; a failing entry is evicted and silently recompiled.
-	Cache *codecache.Cache
+	// verifier; a failing entry is evicted and silently recompiled. Any
+	// codecache.Interface works: a flat Cache, a Sharded cache, or a
+	// disk-backed Spill whose warm entries survive process restarts.
+	Cache codecache.Interface
+
+	// Ctx, when non-nil, carries the compile's deadline and cancellation.
+	// The pipeline checks it at per-function boundaries: once the context
+	// is done, every not-yet-compiled function is compiled at the floor —
+	// guarded Convert64-only, the same correct code a phase fallback
+	// produces — and recorded in Result.Degraded. Compile still returns a
+	// complete, correct program; it is degraded, never wrong, and never
+	// aborted. Floor compiles bypass the cache (their outcome depends on
+	// when the deadline fired, not only on content).
+	Ctx context.Context
+}
+
+// ctxDone reports whether the compile's context (if any) has expired.
+func (o Options) ctxDone() bool {
+	return o.Ctx != nil && o.Ctx.Err() != nil
 }
 
 // parallelism resolves the worker count for a program with n functions.
@@ -228,6 +246,12 @@ type Result struct {
 	// function runs its pre-phase (at worst Convert64-only) code.
 	Fallbacks []*guard.PhaseError
 
+	// Degraded lists the functions (sorted by name) compiled at the
+	// Convert64-only floor because Options.Ctx expired before their
+	// pipeline ran. Degraded code is correct — it is the same code the
+	// Baseline variant produces — just unoptimized.
+	Degraded []string
+
 	// CacheStats reports this compile's cache traffic plus a snapshot of the
 	// shared cache's cumulative counters. Nil when Options.Cache is nil.
 	CacheStats *CacheStats
@@ -246,6 +270,21 @@ type funcOutcome struct {
 
 	cacheHit      bool // served from Options.Cache
 	cacheRejected bool // cached entry failed paranoid verification; recompiled
+	degraded      bool // deadline expired; compiled at the Convert64-only floor
+}
+
+// compileFuncFloor compiles fn at the graceful-degradation floor: guarded
+// Convert64-only, exactly the code a sign-extension-phase fallback (or the
+// Baseline variant) produces. It is the deadline path, so it must be cheap
+// and must not consult the cache — its outcome depends on when the deadline
+// fired, not only on the function's content.
+func compileFuncFloor(fn *ir.Func, o Options) funcOutcome {
+	o.Variant = Baseline
+	o.GeneralOpts = false
+	o.Cache = nil
+	out := compileFunc(fn, o)
+	out.degraded = true
+	return out
 }
 
 // compileFunc runs the per-function pipeline — conversion, general
@@ -461,8 +500,11 @@ func Compile(src *ir.Program, o Options) (*Result, error) {
 	// intermediate-language inliner [10, 19]: it removes call boundaries so
 	// argument/result extensions become visible to the later phases. It is
 	// all-or-nothing: a failure restarts from a fresh clone without it. It
-	// is also the one whole-program phase, so it stays sequential.
-	if o.GeneralOpts {
+	// is also the one whole-program phase, so it stays sequential. A compile
+	// whose deadline already expired skips it: every function is about to be
+	// floored to Convert64-only anyway, and inlining is the most expensive
+	// phase to spend a blown budget on.
+	if o.GeneralOpts && !o.ctxDone() {
 		t0 := time.Now()
 		perr := guard.RunPhase(PhaseInlining, ProgramScope, o.Variant.String(), "", func() error {
 			if o.PhaseHook != nil {
@@ -546,14 +588,21 @@ func Compile(src *ir.Program, o Options) (*Result, error) {
 		res.Telemetry = append(res.Telemetry, out.records...)
 		res.Fallbacks = append(res.Fallbacks, out.fallbacks...)
 		res.StaticExts += out.staticExts
+		if out.degraded {
+			res.Degraded = append(res.Degraded, prog.Funcs[i].Name)
+		}
 	}
+	sort.Strings(res.Degraded)
 	res.Stats.Remaining = res.StaticExts
 	if o.Cache != nil && o.PhaseHook == nil {
 		cs := &CacheStats{}
 		for i := range outs {
-			if outs[i].cacheHit {
+			switch {
+			case outs[i].cacheHit:
 				cs.Hits++
-			} else {
+			case outs[i].degraded:
+				// Floored functions never consulted the cache.
+			default:
 				cs.Misses++
 			}
 			if outs[i].cacheRejected {

@@ -1,0 +1,78 @@
+package profile
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+)
+
+// FuzzParseProfile hardens Unmarshal against hostile artifacts: whatever the
+// bytes, it must return a structured error (wrapping ErrInvalid) or a profile
+// whose re-encoding round-trips — and never panic, the property the compile
+// daemon's -profile-in / request paths depend on.
+func FuzzParseProfile(f *testing.F) {
+	f.Add([]byte(`{"version":1,"functions":[]}`))
+	f.Add([]byte(`{"version":1,"functions":[{"name":"main","calls":3,"branches":[{"id":7,"taken":1,"fall":2}]}]}`))
+	f.Add([]byte(`{"version":1,"functions":[{"name":"main","calls":3,"branches":[{"id":7,"taken":1,"fall":2}`)) // truncated
+	f.Add([]byte(`{"version":2,"functions":[]}`))                                                               // unknown version
+	f.Add([]byte(`{"version":1,"functions":[{"name":"f","calls":-1}]}`))                                        // negative counter
+	f.Add([]byte(`{"version":1,"functions":[{"name":"f","calls":99999999999999999999999999}]}`))                // overflowing counter
+	f.Add([]byte(`{"version":1,"functions":[{"name":"f"},{"name":"f"}]}`))                                      // duplicate function
+	f.Add([]byte(`{"version":1,"functions":[{"name":"f","branches":[{"id":1},{"id":1}]}]}`))                    // duplicate branch
+	f.Add([]byte(``))
+	f.Add([]byte(`null`))
+	f.Add([]byte(`[1,2,3]`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		p, err := Unmarshal(data) // must not panic
+		if err != nil {
+			if !errors.Is(err, ErrInvalid) {
+				t.Fatalf("rejection does not wrap ErrInvalid: %v", err)
+			}
+			return
+		}
+		// Accepted input must round-trip: Marshal is deterministic and its
+		// output re-parses to an equal encoding (byte-exact fixed point).
+		enc := p.Marshal()
+		p2, err := Unmarshal(enc)
+		if err != nil {
+			t.Fatalf("re-parse of own encoding failed: %v", err)
+		}
+		if !bytes.Equal(enc, p2.Marshal()) {
+			t.Fatalf("encoding not a fixed point:\n%s\n---\n%s", enc, p2.Marshal())
+		}
+	})
+}
+
+func TestUnmarshalRejectionsAreStructured(t *testing.T) {
+	cases := []struct {
+		name string
+		in   string
+		want string // substring of the diagnostic
+	}{
+		{"truncated JSON", `{"version":1,"functions":[{"na`, "bad JSON"},
+		{"overflowing counter", `{"version":1,"functions":[{"name":"f","calls":99999999999999999999}]}`, "bad JSON"},
+		{"overflowing branch", `{"version":1,"functions":[{"name":"f","branches":[{"id":1,"taken":1e300,"fall":0}]}]}`, "bad JSON"},
+		{"negative call count", `{"version":1,"functions":[{"name":"f","calls":-2}]}`, "negative call count"},
+		{"negative branch count", `{"version":1,"functions":[{"name":"f","branches":[{"id":1,"taken":-1,"fall":0}]}]}`, "negative counts"},
+		{"unknown version", `{"version":7,"functions":[]}`, "unsupported version"},
+		{"zero version", `{"functions":[]}`, "unsupported version"},
+		{"empty name", `{"version":1,"functions":[{"name":""}]}`, "empty name"},
+		{"duplicate function", `{"version":1,"functions":[{"name":"f"},{"name":"f"}]}`, "duplicate function"},
+		{"duplicate branch", `{"version":1,"functions":[{"name":"f","branches":[{"id":3},{"id":3}]}]}`, "duplicate branch"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := Unmarshal([]byte(tc.in))
+			if err == nil {
+				t.Fatal("hostile input accepted")
+			}
+			if !errors.Is(err, ErrInvalid) {
+				t.Fatalf("error %v does not wrap ErrInvalid", err)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+}

@@ -23,6 +23,7 @@ package profile
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"math"
 	"sort"
@@ -31,6 +32,14 @@ import (
 
 	"signext/internal/interp"
 )
+
+// ErrInvalid is wrapped by every Unmarshal rejection, so callers can
+// distinguish "this artifact is bad" (errors.Is(err, ErrInvalid)) from I/O
+// problems without matching message text. Unmarshal never panics on hostile
+// input — truncated JSON, overflowing counters, unknown versions and
+// structural garbage all come back as structured errors (FuzzParseProfile
+// enforces this).
+var ErrInvalid = errors.New("invalid profile artifact")
 
 // Counts is one branch's outcome totals.
 type Counts struct {
@@ -214,33 +223,35 @@ func (p Profile) Marshal() []byte {
 }
 
 // Unmarshal decodes a profile written by Marshal (or hand-written JSON in
-// the same schema), validating version, duplicates and count signs.
+// the same schema), validating version, duplicates, count signs and overflow.
+// Counters too large for int64 are rejected by the JSON decoder itself
+// (overflow, not silent wrap); every rejection wraps ErrInvalid.
 func Unmarshal(data []byte) (Profile, error) {
 	var w wireFile
 	if err := json.Unmarshal(data, &w); err != nil {
-		return nil, fmt.Errorf("profile: bad JSON: %w", err)
+		return nil, fmt.Errorf("profile: bad JSON: %w: %w", ErrInvalid, err)
 	}
 	if w.Version != wireVersion {
-		return nil, fmt.Errorf("profile: unsupported version %d (want %d)", w.Version, wireVersion)
+		return nil, fmt.Errorf("profile: %w: unsupported version %d (want %d)", ErrInvalid, w.Version, wireVersion)
 	}
 	p := Profile{}
 	for _, wf := range w.Functions {
 		if wf.Name == "" {
-			return nil, fmt.Errorf("profile: function with empty name")
+			return nil, fmt.Errorf("profile: %w: function with empty name", ErrInvalid)
 		}
 		if p[wf.Name] != nil {
-			return nil, fmt.Errorf("profile: duplicate function %q", wf.Name)
+			return nil, fmt.Errorf("profile: %w: duplicate function %q", ErrInvalid, wf.Name)
 		}
 		if wf.Calls < 0 {
-			return nil, fmt.Errorf("profile: %s: negative call count %d", wf.Name, wf.Calls)
+			return nil, fmt.Errorf("profile: %w: %s: negative call count %d", ErrInvalid, wf.Name, wf.Calls)
 		}
 		fp := &FuncProfile{Calls: wf.Calls, Branches: map[int]Counts{}}
 		for _, b := range wf.Branches {
 			if b.Taken < 0 || b.Fall < 0 {
-				return nil, fmt.Errorf("profile: %s: branch %d has negative counts (%d/%d)", wf.Name, b.ID, b.Taken, b.Fall)
+				return nil, fmt.Errorf("profile: %w: %s: branch %d has negative counts (%d/%d)", ErrInvalid, wf.Name, b.ID, b.Taken, b.Fall)
 			}
 			if _, dup := fp.Branches[b.ID]; dup {
-				return nil, fmt.Errorf("profile: %s: duplicate branch id %d", wf.Name, b.ID)
+				return nil, fmt.Errorf("profile: %w: %s: duplicate branch id %d", ErrInvalid, wf.Name, b.ID)
 			}
 			fp.Branches[b.ID] = Counts{Taken: b.Taken, Fall: b.Fall}
 		}

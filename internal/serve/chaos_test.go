@@ -1,0 +1,123 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"signext/internal/guard"
+	"signext/internal/interp"
+	"signext/internal/minijava"
+	"signext/internal/progen"
+)
+
+// TestChaosCampaign drives the daemon the way the failure matrix says it
+// must survive: concurrent requests with hostile deadlines, seeded delay
+// faults pushing compiles over those deadlines, and disk-cache entries
+// corrupted between rounds. The invariant under all of it: zero incorrect
+// responses. Degraded answers and quarantined entries are expected — wrong
+// output is the only failure.
+func TestChaosCampaign(t *testing.T) {
+	dir := t.TempDir()
+	inj := guard.NewInjector(42)
+	var injMu sync.Mutex // Injector's rng is not concurrency-safe; handlers are concurrent
+	cfg := Config{
+		CacheDir: dir,
+		Paranoid: true,
+		FaultDelay: func() time.Duration {
+			injMu.Lock()
+			defer injMu.Unlock()
+			return inj.Delay(2 * time.Millisecond)
+		},
+	}
+
+	// A pool of generated programs with reference outputs computed by the
+	// untouched 32-bit interpreter.
+	const nProgs = 6
+	type prog struct{ src, want string }
+	pool := make([]prog, nProgs)
+	for i := range pool {
+		src := progen.MiniJava(int64(1000+i), progen.Config{Stmts: 8, Funcs: 2})
+		cu, err := minijava.Compile(src)
+		if err != nil {
+			t.Fatalf("generated program %d does not compile: %v", i, err)
+		}
+		ref, err := interp.Run(cu.Prog, "main", interp.Options{Mode: interp.Mode32})
+		if err != nil {
+			t.Fatalf("reference run %d: %v", i, err)
+		}
+		pool[i] = prog{src: src, want: ref.Output}
+	}
+
+	// Each round runs a fresh server over the same cache directory —
+	// restart semantics, so warm answers come off disk and corrupted
+	// entries are actually loaded, detected and quarantined.
+	var wrong, degraded int64
+	var quarantined, diskLoads uint64
+	var mu sync.Mutex
+	const rounds = 4
+	for round := 0; round < rounds; round++ {
+		s, c := newTestServer(t, cfg)
+		c.MaxRetries = 20
+		var wg sync.WaitGroup
+		for i, p := range pool {
+			wg.Add(1)
+			go func(i int, p prog) {
+				defer wg.Done()
+				req := &CompileRequest{Source: p.src, Run: true}
+				// Every other request gets a deadline tighter than the
+				// injected delay can be — some will floor.
+				if i%2 == 0 {
+					req.DeadlineMS = 1
+				}
+				resp, err := c.Compile(context.Background(), req)
+				if err != nil {
+					t.Errorf("round %d prog %d: %v", round, i, err)
+					return
+				}
+				mu.Lock()
+				defer mu.Unlock()
+				if resp.Trap != "" || resp.Output != p.want {
+					wrong++
+					t.Errorf("round %d prog %d: INCORRECT answer: trap=%q output=%q want=%q",
+						round, i, resp.Trap, resp.Output, p.want)
+				}
+				if resp.Degraded {
+					degraded++
+				}
+			}(i, p)
+		}
+		wg.Wait()
+
+		st := s.Stats()
+		if st.Failed != 0 {
+			t.Errorf("round %d: %d failed answers: %+v", round, st.Failed, st)
+		}
+		if st.Disk == nil {
+			t.Fatal("no disk stats")
+		}
+		quarantined += st.Disk.Quarantined
+		diskLoads += st.Disk.Loads
+
+		// Between rounds: flip bits in (or truncate) persisted entries.
+		for k := 0; k < 2; k++ {
+			if path, ok := inj.CorruptDiskEntry(dir); ok && testing.Verbose() {
+				fmt.Printf("round %d: corrupted %s\n", round, path)
+			}
+		}
+	}
+
+	if wrong != 0 {
+		t.Fatalf("%d incorrect responses — the one unacceptable outcome", wrong)
+	}
+	if diskLoads == 0 {
+		t.Error("no warm answer ever came off disk — restarts are cold")
+	}
+	if quarantined == 0 {
+		t.Error("corruption campaign quarantined nothing")
+	}
+	t.Logf("campaign: degraded=%d quarantined=%d disk loads=%d",
+		degraded, quarantined, diskLoads)
+}

@@ -1,0 +1,203 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+)
+
+// Client talks to a sxelimd daemon, absorbing the transient failures the
+// server is designed to emit: 429/503 answers (and their Retry-After hints)
+// and connection errors are retried with exponential backoff and jitter;
+// 4xx request errors are permanent and returned immediately.
+type Client struct {
+	base string
+	hc   *http.Client
+
+	// Retry policy. The zero value of a Dial'd client retries 5 times,
+	// starting at 25 ms and capping at 1 s between attempts.
+	MaxRetries  int
+	BaseBackoff time.Duration
+	MaxBackoff  time.Duration
+
+	mu  sync.Mutex
+	rng *rand.Rand // jitter source; seeded per client, never shared
+}
+
+// Dial returns a client for a daemon at network/addr — typically
+// ("unix", "/run/sxelimd.sock") or ("tcp", "127.0.0.1:7878").
+func Dial(network, addr string) *Client {
+	tr := &http.Transport{
+		DialContext: func(ctx context.Context, _, _ string) (net.Conn, error) {
+			var d net.Dialer
+			return d.DialContext(ctx, network, addr)
+		},
+	}
+	return newClient("http://sxelimd", &http.Client{Transport: tr})
+}
+
+// NewClient wraps an existing base URL and http.Client — the hook tests use
+// to point at an httptest.Server.
+func NewClient(base string, hc *http.Client) *Client {
+	return newClient(base, hc)
+}
+
+func newClient(base string, hc *http.Client) *Client {
+	return &Client{
+		base:        base,
+		hc:          hc,
+		MaxRetries:  5,
+		BaseBackoff: 25 * time.Millisecond,
+		MaxBackoff:  time.Second,
+		rng:         rand.New(rand.NewSource(time.Now().UnixNano())),
+	}
+}
+
+// RequestError is a permanent, non-retryable daemon answer (4xx/5xx other
+// than overload): the request itself is wrong.
+type RequestError struct {
+	Status int
+	Msg    string
+}
+
+func (e *RequestError) Error() string {
+	return fmt.Sprintf("sxelimd: %d: %s", e.Status, e.Msg)
+}
+
+// Compile submits one request, retrying transient failures until ctx
+// expires or the retry budget runs out.
+func (c *Client) Compile(ctx context.Context, req *CompileRequest) (*CompileResponse, error) {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return nil, err
+	}
+	var lastErr error
+	for attempt := 0; ; attempt++ {
+		resp, retryAfter, err := c.post(ctx, body)
+		if err == nil {
+			return resp, nil
+		}
+		if _, permanent := err.(*RequestError); permanent {
+			return nil, err
+		}
+		lastErr = err
+		if attempt >= c.MaxRetries {
+			return nil, fmt.Errorf("sxelimd: giving up after %d attempts: %w", attempt+1, lastErr)
+		}
+		if err := c.sleep(ctx, attempt, retryAfter); err != nil {
+			return nil, fmt.Errorf("sxelimd: %w (last answer: %v)", err, lastErr)
+		}
+	}
+}
+
+// post performs one HTTP exchange. Overload answers and transport errors
+// come back as plain errors (retryable); request errors as *RequestError.
+func (c *Client) post(ctx context.Context, body []byte) (*CompileResponse, time.Duration, error) {
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+"/compile", bytes.NewReader(body))
+	if err != nil {
+		return nil, 0, err
+	}
+	hreq.Header.Set("Content-Type", "application/json")
+	hres, err := c.hc.Do(hreq)
+	if err != nil {
+		return nil, 0, err
+	}
+	defer hres.Body.Close()
+
+	switch hres.StatusCode {
+	case http.StatusOK:
+		var resp CompileResponse
+		if err := json.NewDecoder(io.LimitReader(hres.Body, maxRequestBytes)).Decode(&resp); err != nil {
+			return nil, 0, fmt.Errorf("decode answer: %w", err)
+		}
+		return &resp, 0, nil
+	case http.StatusTooManyRequests, http.StatusServiceUnavailable:
+		retryAfter := parseRetryAfter(hres.Header.Get("Retry-After"))
+		return nil, retryAfter, fmt.Errorf("overloaded: %s", hres.Status)
+	default:
+		msg := hres.Status
+		var resp CompileResponse
+		if json.NewDecoder(io.LimitReader(hres.Body, maxRequestBytes)).Decode(&resp) == nil && resp.Error != "" {
+			msg = resp.Error
+		}
+		return nil, 0, &RequestError{Status: hres.StatusCode, Msg: msg}
+	}
+}
+
+func parseRetryAfter(h string) time.Duration {
+	secs, err := strconv.ParseInt(h, 10, 64)
+	if err != nil || secs < 0 {
+		return 0
+	}
+	return time.Duration(secs) * time.Second
+}
+
+// sleep backs off before the next attempt: the server's Retry-After hint
+// when present (jittered ±50% so a rejected herd does not return in step),
+// else exponential from BaseBackoff, capped at MaxBackoff.
+func (c *Client) sleep(ctx context.Context, attempt int, retryAfter time.Duration) error {
+	d := c.BaseBackoff << uint(attempt)
+	if retryAfter > 0 {
+		d = retryAfter
+	}
+	if d > c.MaxBackoff {
+		d = c.MaxBackoff
+	}
+	c.mu.Lock()
+	d = d/2 + time.Duration(c.rng.Int63n(int64(d)+1))
+	c.mu.Unlock()
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Health reports whether the daemon is accepting work.
+func (c *Client) Health(ctx context.Context) error {
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/healthz", nil)
+	if err != nil {
+		return err
+	}
+	hres, err := c.hc.Do(hreq)
+	if err != nil {
+		return err
+	}
+	defer hres.Body.Close()
+	if hres.StatusCode != http.StatusOK {
+		return fmt.Errorf("unhealthy: %s", hres.Status)
+	}
+	return nil
+}
+
+// Stats fetches the daemon's /statsz snapshot.
+func (c *Client) Stats(ctx context.Context) (*ServerStats, error) {
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/statsz", nil)
+	if err != nil {
+		return nil, err
+	}
+	hres, err := c.hc.Do(hreq)
+	if err != nil {
+		return nil, err
+	}
+	defer hres.Body.Close()
+	if hres.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("statsz: %s", hres.Status)
+	}
+	var st ServerStats
+	if err := json.NewDecoder(io.LimitReader(hres.Body, maxRequestBytes)).Decode(&st); err != nil {
+		return nil, err
+	}
+	return &st, nil
+}

@@ -88,9 +88,10 @@ type Options struct {
 	ElimBudget int
 
 	// Cache, when non-nil, serves per-function compilations from a shared
-	// content-addressed cache (see NewCache) and stores misses into it. Warm
-	// hits are bit-identical to the compile that populated the entry.
-	Cache *Cache
+	// content-addressed cache (see NewCache, NewShardedCache,
+	// NewPersistentCache) and stores misses into it. Warm hits are
+	// bit-identical to the compile that populated the entry.
+	Cache CacheHandle
 
 	// Profile, when non-nil, feeds this branch profile to order
 	// determination instead of gathering one (overrides WithProfile).
@@ -111,9 +112,35 @@ type Options struct {
 // fingerprint plus every option that can change the compiled output.
 type Cache = codecache.Cache
 
+// CacheHandle is any cache topology the compiler accepts: a flat Cache, a
+// Sharded cache (NewShardedCache), or a disk-backed persistent cache
+// (NewPersistentCache).
+type CacheHandle = codecache.Interface
+
 // NewCache creates a compilation cache bounded to maxBytes resident bytes
 // (estimated). maxBytes <= 0 yields a cache that stores at most one entry.
 func NewCache(maxBytes int64) *Cache { return codecache.New(maxBytes) }
+
+// NewShardedCache creates a compilation cache split over nShards
+// independently locked LRU shards (0 = a sensible default), routed by
+// content-address prefix — the topology for many concurrent compilations
+// sharing one hot cache.
+func NewShardedCache(maxBytes int64, nShards int) CacheHandle {
+	return codecache.NewSharded(maxBytes, nShards)
+}
+
+// NewPersistentCache creates a sharded in-memory cache that writes every
+// entry through to a crash-safe on-disk store rooted at dir and falls back
+// to it on memory misses, so the warm set survives process restarts —
+// including kill -9. Persisted entries are SHA-256-verified on load;
+// corrupted files are quarantined and recompiled, never served.
+func NewPersistentCache(dir string, maxBytes int64, nShards int) (CacheHandle, error) {
+	disk, err := codecache.OpenDiskStore(dir, jit.PayloadCodec())
+	if err != nil {
+		return nil, err
+	}
+	return codecache.NewSpill(codecache.NewSharded(maxBytes, nShards), disk), nil
+}
 
 // CacheStats reports what Options.Cache did during one compilation.
 type CacheStats = jit.CacheStats
