@@ -15,6 +15,8 @@
 //	benchtab -compilebench -o BENCH_compile.json   # compile-time benchmark (JSON)
 //	benchtab -compilebench -cache -o BENCH_compile.json  # plus cold/warm cache pass
 //	benchtab -compilebench -tiered -o BENCH_compile.json # plus tiered-runtime pass
+//	benchtab -compilebench -interpbench -tiered -o BENCH_compile.json  # plus interpreter
+//	   dispatch microbenchmark; the tiered pass then uses the measured penalty
 //	benchtab -servebench -o BENCH_serve.json       # daemon load benchmark (JSON)
 //	benchtab -validate BENCH_compile.json          # sanity-check an artifact
 //	benchtab -validate BENCH_serve.json            # (kind is detected)
@@ -54,6 +56,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	cacheMB := flag.Int64("cache-mb", 64, "compile cache capacity in MiB (with -cache)")
 	useTiered := flag.Bool("tiered", false, "compile-benchmark: add a tiered-runtime pass per workload")
 	hotThreshold := flag.Int64("hot-threshold", 0, "tiered promotion threshold (0 = default)")
+	interpbench := flag.Bool("interpbench", false, "compile-benchmark: add the interpreter dispatch microbenchmark (switch vs threaded walls, measured tier penalty)")
 	invocations := flag.Int("invocations", 0, "tiered invocations per workload (0 = default 4)")
 	servebench := flag.Bool("servebench", false, "run the compile-daemon load benchmark and emit the BENCH_serve.json artifact")
 	clients := flag.Int("clients", 0, "servebench concurrent clients (0 = default 8)")
@@ -110,6 +113,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 		if r.TieredEnabled {
 			fmt.Fprintf(stdout, "benchtab: tiered: %d tier-ups over %d invocations, steady-state speedup %.2fx, identity pass\n",
 				r.TotalTierUps, r.TieredInvocations, r.TierSpeedup)
+		}
+		if r.InterpEnabled {
+			fmt.Fprintf(stdout, "benchtab: interp: threaded dispatch %.2fx over switch, measured tier penalty %.2fx, identity pass\n",
+				r.InterpSpeedup, r.MeasuredPenalty)
 		}
 		return 0
 	}
@@ -173,6 +180,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 			Parallelism: *parallel, Repeats: *repeats,
 			Cache: *useCache, CacheBytes: *cacheMB << 20,
 			Tiered: *useTiered, TieredInvocations: *invocations, HotThreshold: *hotThreshold,
+			Interp: *interpbench,
 		})
 		if err != nil {
 			fmt.Fprintln(stderr, "benchtab:", err)
@@ -197,6 +205,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 		if r.TieredEnabled {
 			fmt.Fprintf(stderr, "benchtab: tiered: %d tier-ups, steady-state speedup %.2fx, identity pass\n",
 				r.TotalTierUps, r.TierSpeedup)
+		}
+		if r.InterpEnabled {
+			fmt.Fprintf(stderr, "benchtab: interp: threaded dispatch %.2fx over switch, measured tier penalty %.2fx, identity pass\n",
+				r.InterpSpeedup, r.MeasuredPenalty)
 		}
 		return 0
 	}

@@ -10,6 +10,7 @@
 //	sxfuzz -seed 1 -count 500 -cache            # add the cache-identity property
 //	sxfuzz -seed 1 -count 500 -tiered           # add the profile-identity property
 //	sxfuzz -seed 1 -count 200 -serve            # add the serve-identity property
+//	sxfuzz -seed 1 -count 500 -dispatch         # force dispatch-identity on every program
 package main
 
 import (
@@ -45,6 +46,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		cache    = fs.Bool("cache", false, "add the cache-identity property to the metamorphic set (warm compile-cache hits must be bit-identical to cold compiles)")
 		tiered   = fs.Bool("tiered", false, "add the profile-identity property to the metamorphic set (tiered execution must be bit-identical to one-shot compilation fed the gathered profile)")
 		srv      = fs.Bool("serve", false, "add the serve-identity property to the metamorphic set (compile-daemon answers must match direct compiles, healthy and degraded)")
+		dispatch = fs.Bool("dispatch", false, "check dispatch identity (threaded bytecode vs reference walker) on every program, not just the metamorphic sample")
 		verbose  = fs.Bool("v", false, "log campaign progress to stderr")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -69,6 +71,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	cfg.Check.Cache = *cache
 	cfg.Check.Tiered = *tiered
 	cfg.Check.Serve = *srv
+	cfg.Check.Dispatch = *dispatch
 	switch *kind {
 	case "":
 	case "mj", "ir":

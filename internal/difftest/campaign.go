@@ -357,6 +357,11 @@ func propPredicate(prop string, mach ir.Machine, c Config) Predicate {
 	case "profile-identity":
 		c.OracleOnly = false
 		c.Tiered = true
+	case "dispatch-identity":
+		// The property itself is cheap; shrink in oracle-only mode with the
+		// explicit opt-in so replay skips the unrelated heavy properties.
+		c.OracleOnly = true
+		c.Dispatch = true
 	default:
 		c.OracleOnly = true
 	}

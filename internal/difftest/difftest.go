@@ -15,6 +15,10 @@
 //     (the model pairs lbz with extsb);
 //   - parallel identity: Parallelism=1 and Parallelism=N produce
 //     bit-identical results;
+//   - dispatch identity: the token-threaded bytecode interpreter and the
+//     reference tree walker agree bit-for-bit — output, traps, step and
+//     cycle accounting, dynamic extension counts, branch profiles — on both
+//     the profiling-tier and optimized-tier configurations;
 //   - cache identity (opt-in via Config.Cache): warm compile-cache hits are
 //     bit-identical to the cold compile that populated the cache, at every
 //     worker count;
@@ -42,6 +46,7 @@ package difftest
 import (
 	"errors"
 	"fmt"
+	"reflect"
 	"strings"
 
 	"signext/internal/codecache"
@@ -103,6 +108,15 @@ type Config struct {
 	// steady-state Finalize artifact must equal a one-shot compile fed the
 	// gathered profile, at every worker count.
 	Tiered bool
+
+	// Dispatch adds the dispatch-identity property: the token-threaded
+	// bytecode interpreter must be bit-identical to the reference tree
+	// walker — same output, trap, step count, cycle split, dynamic
+	// extension count, branch profile and call counts — on both the
+	// profiling-tier configuration (Mode32 on the source program) and the
+	// optimized-tier configuration (Mode64 on the compiled program). The
+	// property also runs as part of the default heavy set.
+	Dispatch bool
 
 	// Serve adds the serve-identity property: the same program submitted to
 	// an in-process compile daemon (internal/serve) must produce the same
@@ -205,6 +219,15 @@ func Check(p *Program, cfg Config) (fails []Failure, skipped bool) {
 
 		if d := loweringDetail(res.Prog, mach); d != "" {
 			fail("lowering", mach, "%s", d)
+		}
+
+		// Dispatch identity: cheap enough (two extra interpreter runs per
+		// leg) to run in the heavy set by default, and separately opt-in
+		// for focused campaigns.
+		if cfg.Dispatch || !cfg.OracleOnly {
+			if d := dispatchDetail(p.Prog, res.Prog, mach, cfg.MaxSteps); d != "" {
+				fail("dispatch-identity", mach, "%s", d)
+			}
 		}
 
 		if cfg.OracleOnly {
@@ -387,6 +410,77 @@ func checkFixpoint(res *jit.Result, mach ir.Machine, cfg Config, p *Program,
 	if _, err := oracle.Check(p.Prog, clone); err != nil {
 		fail("fixpoint", mach, "converged program violates the oracle: %v", err)
 	}
+}
+
+// dispatchDetail runs a program under both interpreter dispatchers and
+// demands bit-identical results: output, trap string, step count, total and
+// per-mode cycles, dynamic extension count, branch profile, and call counts.
+// It checks the two configurations the system actually runs: the profiling
+// tier (Mode32, profile and call counting, on the source program) and the
+// optimized tier (Mode64, dummy checking, on the compiled program).
+func dispatchDetail(src, opt *ir.Program, mach ir.Machine, maxSteps int64) string {
+	legs := []struct {
+		name string
+		prog *ir.Program
+		opts interp.Options
+	}{
+		{"profiling-32", src, interp.Options{
+			Mode: interp.Mode32, Machine: mach, MaxSteps: maxSteps,
+			Profile: true, CountCalls: true, Cost: target.CostModel(mach),
+		}},
+		{"optimized-64", opt, interp.Options{
+			Mode: interp.Mode64, Machine: mach, MaxSteps: maxSteps,
+			CheckDummies: true, Cost: target.CostModel(mach),
+		}},
+	}
+	for _, leg := range legs {
+		so := leg.opts
+		so.Dispatch = interp.DispatchSwitch
+		sw, swErr := interp.Run(leg.prog, "main", so)
+		to := leg.opts
+		to.Dispatch = interp.DispatchThreaded
+		th, thErr := interp.Run(leg.prog, "main", to)
+		if d := dispatchCompare(sw, swErr, th, thErr); d != "" {
+			return fmt.Sprintf("%s leg: %s", leg.name, d)
+		}
+	}
+	return ""
+}
+
+// dispatchCompare reports the first divergence between a switch-dispatch run
+// and a threaded-dispatch run, or "" if they are bit-identical.
+func dispatchCompare(sw *interp.Result, swErr error, th *interp.Result, thErr error) string {
+	errStr := func(err error) string {
+		if err == nil {
+			return "<nil>"
+		}
+		return err.Error()
+	}
+	if errStr(swErr) != errStr(thErr) {
+		return fmt.Sprintf("trap mismatch: switch %v, threaded %v", swErr, thErr)
+	}
+	if sw.Output != th.Output {
+		return fmt.Sprintf("output mismatch:\nswitch %q\nthreaded %q", sw.Output, th.Output)
+	}
+	if sw.Steps != th.Steps {
+		return fmt.Sprintf("step count mismatch: switch %d, threaded %d", sw.Steps, th.Steps)
+	}
+	if sw.Cycles != th.Cycles {
+		return fmt.Sprintf("cycle count mismatch: switch %d, threaded %d", sw.Cycles, th.Cycles)
+	}
+	if sw.ModeCycles != th.ModeCycles {
+		return fmt.Sprintf("mode cycle split mismatch: switch %v, threaded %v", sw.ModeCycles, th.ModeCycles)
+	}
+	if sw.Ext != th.Ext {
+		return fmt.Sprintf("dynamic extension count mismatch: switch %d, threaded %d", sw.Ext, th.Ext)
+	}
+	if !reflect.DeepEqual(sw.Profile, th.Profile) {
+		return fmt.Sprintf("branch profile mismatch:\nswitch %v\nthreaded %v", sw.Profile, th.Profile)
+	}
+	if !reflect.DeepEqual(sw.Calls, th.Calls) {
+		return fmt.Sprintf("call count mismatch:\nswitch %v\nthreaded %v", sw.Calls, th.Calls)
+	}
+	return ""
 }
 
 // loweringDetail cross-checks the machine-level extension cost against the

@@ -59,12 +59,26 @@ func (p Profile) Counts(fn string, id int) (taken, fall int64) {
 type Options struct {
 	Mode         Mode
 	Machine      ir.Machine
-	MaxSteps     int64                 // 0 means the default limit
-	Profile      bool                  // collect branch profiles
-	CheckDummies bool                  // verify ext.dummy assertions at runtime
-	Cost         func(*ir.Instr) int64 // optional per-instruction cycle cost
-	MaxArrayLen  int64                 // language maximum array length (0 = 2^31-1)
-	InitGlobals  []int64               // initial integer values for global cells
+	MaxSteps     int64 // 0 means the default limit
+	Profile      bool  // collect branch profiles
+	CheckDummies bool  // verify ext.dummy assertions at runtime
+
+	// Cost is the per-instruction cycle cost model. It must be pure (a
+	// function of the instruction alone): threaded dispatch evaluates it
+	// once per instruction at bytecode-compile time and charges whole
+	// segments at once, not in execution order.
+	Cost func(*ir.Instr) int64
+
+	MaxArrayLen int64   // language maximum array length (0 = 2^31-1)
+	InitGlobals []int64 // initial integer values for global cells
+
+	// Dispatch selects the execution engine. The default (DispatchAuto)
+	// runs token-threaded bytecode and falls back to the reference tree
+	// walker for options that observe individual instructions (Trace,
+	// OnDef) and for irregular functions. Results are bit-identical either
+	// way — the dispatch-identity property in internal/difftest enforces
+	// it — so this knob exists for benchmarking and differential testing.
+	Dispatch Dispatch
 
 	// FuncMode, if set, overrides Mode per function: each call frame
 	// executes under FuncMode(name). The tiered runtime uses this for
@@ -107,9 +121,17 @@ const DefaultMaxDepth = 10000
 
 // Result is the outcome of a run.
 type Result struct {
-	Output  string
-	Steps   int64
-	Cycles  int64
+	Output string
+	Steps  int64
+	Cycles int64
+
+	// ModeCycles splits Cycles by the executing function's register
+	// semantics: ModeCycles[Mode64] for compiled-form frames and
+	// ModeCycles[Mode32] for source-form frames. In a tiered run this is
+	// the per-tier cycle breakdown the measured interpreter penalty is
+	// applied to. Invariant: ModeCycles[0]+ModeCycles[1] == Cycles.
+	ModeCycles [2]int64
+
 	Ext     [65]int64 // dynamic executed OpExt count, indexed by width
 	Profile Profile
 	Calls   map[string]int64 // per-function entry counts (Options.CountCalls)
@@ -157,15 +179,21 @@ type cell struct {
 const defaultMaxSteps = 1 << 31
 
 type machine struct {
-	prog     *ir.Program
-	opt      Options
-	mode     Mode // semantics of the currently executing function
-	globals  []cell
-	out      strings.Builder
-	res      Result
-	maxLen   int64
-	depth    int // current call-frame depth
-	maxDepth int // resolved Options.MaxDepth (<= 0 means unlimited)
+	prog       *ir.Program
+	opt        Options
+	mode       Mode // semantics of the currently executing function
+	globals    []cell
+	out        strings.Builder
+	res        Result
+	maxLen     int64
+	depth      int   // current call-frame depth
+	maxDepth   int   // resolved Options.MaxDepth (<= 0 means unlimited)
+	traceLimit int64 // resolved Options.TraceLimit
+	threaded   bool  // token-threaded dispatch enabled for this run
+
+	bc        map[*ir.Func]*bcState // lazy bytecode cache (nil value = walker)
+	regPool   [][]slot              // recycled register files
+	framePool []*bcFrame            // recycled threaded frames
 }
 
 // Run executes prog starting at function entry (no arguments, typically
@@ -191,6 +219,13 @@ func Run(prog *ir.Program, entry string, opt Options) (*Result, error) {
 		opt.MaxSteps = defaultMaxSteps
 		m.opt.MaxSteps = defaultMaxSteps
 	}
+	m.traceLimit = opt.TraceLimit
+	if m.traceLimit == 0 {
+		m.traceLimit = 100000
+	}
+	// Trace and OnDef observe individual instruction executions, which the
+	// segment-batched fast path cannot deliver; they force the walker.
+	m.threaded = opt.Dispatch != DispatchSwitch && opt.Trace == nil && opt.OnDef == nil
 	if opt.Profile {
 		m.res.Profile = Profile{}
 	}
@@ -201,41 +236,59 @@ func Run(prog *ir.Program, entry string, opt Options) (*Result, error) {
 	if fn == nil {
 		return &m.res, fmt.Errorf("%w: %s", ErrNoFunction, entry)
 	}
-	_, err := m.call(fn, nil)
+	_, err := m.call(fn, nil, nil)
+	m.flushBCProfiles()
 	m.res.Output = m.out.String()
 	return &m.res, err
 }
 
 // call sets up one frame: it resolves the function's semantic mode (tiered
 // runs mix Mode32 interpreter-tier and Mode64 compiled functions in one
-// program), counts the entry, and restores the caller's mode on return.
-func (m *machine) call(fn *ir.Func, args []slot) (slot, error) {
+// program), counts the entry, picks the dispatch engine, and restores the
+// caller's mode on return. The callee reads its arguments directly from the
+// caller's register file (caller[argRegs[k]] lands in the callee's register
+// k), avoiding a per-call argument slice.
+func (m *machine) call(fn *ir.Func, caller []slot, argRegs []ir.Reg) (slot, error) {
 	if m.maxDepth > 0 && m.depth >= m.maxDepth {
 		return slot{}, fmt.Errorf("%w: %d frames at call to %s", ErrDepth, m.depth, fn.Name)
 	}
 	m.depth++
-	defer func() { m.depth-- }()
 	if m.res.Calls != nil {
 		m.res.Calls[fn.Name]++
 	}
+	prev := m.mode
 	if m.opt.FuncMode != nil {
-		prev := m.mode
 		m.mode = m.opt.FuncMode(fn.Name)
-		rv, err := m.exec(fn, args)
-		m.mode = prev
-		return rv, err
 	}
-	return m.exec(fn, args)
+	var rv slot
+	var err error
+	if st := m.bcFor(fn); st != nil {
+		rv, err = m.execBC(st, fn, caller, argRegs)
+	} else {
+		rv, err = m.exec(fn, caller, argRegs)
+	}
+	m.mode = prev
+	m.depth--
+	return rv, err
 }
 
-func (m *machine) exec(fn *ir.Func, args []slot) (slot, error) {
-	regs := make([]slot, fn.NReg)
-	copy(regs, args)
+func (m *machine) exec(fn *ir.Func, caller []slot, argRegs []ir.Reg) (slot, error) {
+	regs := m.acquireRegs(fn.NReg)
+	defer m.releaseRegs(regs)
+	for k, r := range argRegs {
+		regs[k] = caller[r]
+	}
 	var prof map[int]*[2]int64
 	if m.res.Profile != nil {
 		prof = m.res.Profile[fn.Name]
 		if prof == nil {
-			prof = map[int]*[2]int64{}
+			nbr := 0
+			fn.ForEachInstr(func(_ *ir.Block, ins *ir.Instr) {
+				if ins.Op == ir.OpBr || ins.Op == ir.OpFBr {
+					nbr++
+				}
+			})
+			prof = make(map[int]*[2]int64, nbr)
 			m.res.Profile[fn.Name] = prof
 		}
 	}
@@ -248,16 +301,12 @@ func (m *machine) exec(fn *ir.Func, args []slot) (slot, error) {
 				return slot{}, ErrStepLimit
 			}
 			if m.opt.Cost != nil {
-				m.res.Cycles += m.opt.Cost(ins)
+				c := m.opt.Cost(ins)
+				m.res.Cycles += c
+				m.res.ModeCycles[m.mode] += c
 			}
-			if m.opt.Trace != nil {
-				lim := m.opt.TraceLimit
-				if lim == 0 {
-					lim = 100000
-				}
-				if m.res.Steps <= lim {
-					m.opt.Trace(fn.Name, b, ins)
-				}
+			if m.opt.Trace != nil && m.res.Steps <= m.traceLimit {
+				m.opt.Trace(fn.Name, b, ins)
 			}
 			switch ins.Op {
 			case ir.OpConst:
@@ -276,7 +325,13 @@ func (m *machine) exec(fn *ir.Func, args []slot) (slot, error) {
 				m.setInt(regs, ins, regs[ins.Srcs[0]].i*regs[ins.Srcs[1]].i)
 			case ir.OpDiv, ir.OpRem:
 				x, y := regs[ins.Srcs[0]].i, regs[ins.Srcs[1]].i
-				if y == 0 || ins.W == ir.W32 && ir.W32.SignExt(y) == 0 {
+				// Normalize the divisor by the operation width for every
+				// width: a narrow divisor whose low W bits are zero divides
+				// by zero no matter what its dirty upper bits hold. SignExt
+				// at W64 is the identity, covering the plain y == 0 case.
+				// (The old guard special-cased only W32, so a W8/W16 divisor
+				// like 0x100 escaped the trap and divided by 256.)
+				if ins.W.SignExt(y) == 0 {
 					return slot{}, ErrDivZero
 				}
 				var v int64
@@ -377,11 +432,7 @@ func (m *machine) exec(fn *ir.Func, args []slot) (slot, error) {
 				if callee == nil {
 					return slot{}, fmt.Errorf("%w: %s", ErrNoFunction, ins.Callee)
 				}
-				args := make([]slot, len(ins.Args))
-				for k, a := range ins.Args {
-					args[k] = regs[a]
-				}
-				rv, err := m.call(callee, args)
+				rv, err := m.call(callee, regs, ins.Args)
 				if err != nil {
 					return slot{}, err
 				}
@@ -454,19 +505,9 @@ func (m *machine) exec(fn *ir.Func, args []slot) (slot, error) {
 					regs[ins.Dst].i = int64(len(a.i))
 				}
 			case ir.OpBr:
-				x, y := regs[ins.Srcs[0]].i, regs[ins.Srcs[1]].i
-				var taken bool
-				if ins.W == ir.W64 {
-					taken = ins.Cond.Eval(x, y)
-				} else {
-					// cmp4: only the low 32 bits participate.
-					switch ins.Cond {
-					case ir.CondULT, ir.CondULE, ir.CondUGT, ir.CondUGE:
-						taken = ins.Cond.Eval(ins.W.ZeroExt(x), ins.W.ZeroExt(y))
-					default:
-						taken = ins.Cond.Eval(ins.W.SignExt(x), ins.W.SignExt(y))
-					}
-				}
+				// cmp4 width semantics live in evalBr, shared with the
+				// threaded dispatcher so the two engines cannot drift.
+				taken := evalBr(ins.Cond, ins.W, regs[ins.Srcs[0]].i, regs[ins.Srcs[1]].i)
 				if prof != nil {
 					c := prof[ins.ID]
 					if c == nil {

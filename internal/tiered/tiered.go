@@ -67,11 +67,14 @@ type Config struct {
 	// DefaultHotThreshold; negative means never promote.
 	HotThreshold int64
 
-	// InterpPenalty scales the modelled cycle cost of instructions executed
-	// in interpreter-tier frames, making the tier split visible in the
-	// cycle telemetry. Default DefaultInterpPenalty; 1 disables the
-	// penalty.
-	InterpPenalty int64
+	// InterpPenalty scales the cycle cost of instructions executed in
+	// interpreter-tier frames, making the tier split visible in the cycle
+	// telemetry. Default DefaultInterpPenalty (a modelled 10×); 1 disables
+	// the penalty. bench.CompileBench replaces the default with a measured
+	// ratio — interpreter nanoseconds per cycle over compiled-form
+	// nanoseconds per cycle — so artifact tier-up speedups are calibrated
+	// rather than assumed.
+	InterpPenalty float64
 
 	// MaxSteps bounds each invocation's interpreter steps (0 = interp
 	// default).
@@ -105,13 +108,16 @@ type Telemetry struct {
 	TierUps     int           // functions promoted to the compiled tier
 	TierUpWall  time.Duration // total wall clock of promotion compile rounds
 
-	// InterpCycles and CompiledCycles split the modelled cycles by the tier
-	// of the executing frame; InterpCycles already includes the
-	// InterpPenalty factor. InvocationCycles records each invocation's
-	// total, so cold-vs-steady-state comparisons need no re-run.
+	// InterpCycles and CompiledCycles split the cycles by the tier of the
+	// executing frame; InterpCycles already includes the InterpPenalty
+	// factor. InvocationCycles records each invocation's total, so
+	// cold-vs-steady-state comparisons need no re-run. InvokeWall is the
+	// summed wall clock of the Invoke executions themselves (promotion
+	// compiles excluded) — the measured counterpart of the modelled cycles.
 	InterpCycles     int64
 	CompiledCycles   int64
 	InvocationCycles []int64
+	InvokeWall       time.Duration
 }
 
 // SteadySpeedup returns the modelled speedup of the last (steady-state)
@@ -181,7 +187,12 @@ func (m *Manager) Invoke() (*interp.Result, error) {
 	m.tel.Invocations++
 	inv := m.tel.Invocations
 
-	var interpCycles, compiledCycles int64
+	// Interpreter-tier frames run Mode32, compiled frames Mode64, so
+	// Result.ModeCycles is exactly the per-tier cycle split; the penalty is
+	// applied to the interpreter share afterwards. The cost model stays
+	// pure, which lets the threaded dispatcher charge whole segments at
+	// once instead of calling a closure per instruction.
+	t0 := time.Now()
 	res, err := interp.Run(m.mixed, m.cfg.Entry, interp.Options{
 		Mode:        interp.Mode64,
 		Machine:     m.cfg.Options.Machine,
@@ -195,23 +206,17 @@ func (m *Manager) Invoke() (*interp.Result, error) {
 			}
 			return interp.Mode32
 		},
-		Cost: func(ins *ir.Instr) int64 {
-			c := m.baseCost(ins)
-			if ins.Blk != nil && ins.Blk.Fn != nil && m.tier[ins.Blk.Fn.Name] != TierCompiled {
-				c *= m.cfg.InterpPenalty
-				interpCycles += c
-			} else {
-				compiledCycles += c
-			}
-			return c
-		},
+		Cost: m.baseCost,
 	})
+	m.tel.InvokeWall += time.Since(t0)
 	m.collector.AddRun(res.Profile, res.Calls, func(name string) bool {
 		return m.tier[name] != TierCompiled
 	})
+	interpCycles := int64(float64(res.ModeCycles[interp.Mode32]) * m.cfg.InterpPenalty)
+	compiledCycles := res.ModeCycles[interp.Mode64]
 	m.tel.InterpCycles += interpCycles
 	m.tel.CompiledCycles += compiledCycles
-	m.tel.InvocationCycles = append(m.tel.InvocationCycles, res.Cycles)
+	m.tel.InvocationCycles = append(m.tel.InvocationCycles, interpCycles+compiledCycles)
 	if err != nil {
 		return res, err
 	}
