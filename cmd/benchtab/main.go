@@ -17,6 +17,7 @@
 //	benchtab -compilebench -tiered -o BENCH_compile.json # plus tiered-runtime pass
 //	benchtab -compilebench -interpbench -tiered -o BENCH_compile.json  # plus interpreter
 //	   dispatch microbenchmark; the tiered pass then uses the measured penalty
+//	benchtab -compilebench -peep -o BENCH_compile.json   # plus rule-table peephole pass
 //	benchtab -servebench -o BENCH_serve.json       # daemon load benchmark (JSON)
 //	benchtab -validate BENCH_compile.json          # sanity-check an artifact
 //	benchtab -validate BENCH_serve.json            # (kind is detected)
@@ -57,6 +58,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	useTiered := flag.Bool("tiered", false, "compile-benchmark: add a tiered-runtime pass per workload")
 	hotThreshold := flag.Int64("hot-threshold", 0, "tiered promotion threshold (0 = default)")
 	interpbench := flag.Bool("interpbench", false, "compile-benchmark: add the interpreter dispatch microbenchmark (switch vs threaded walls, measured tier penalty)")
+	usePeep := flag.Bool("peep", false, "compile-benchmark: add a rule-table peephole pass per workload (rewrite counts, cycle delta, identity)")
 	invocations := flag.Int("invocations", 0, "tiered invocations per workload (0 = default 4)")
 	servebench := flag.Bool("servebench", false, "run the compile-daemon load benchmark and emit the BENCH_serve.json artifact")
 	clients := flag.Int("clients", 0, "servebench concurrent clients (0 = default 8)")
@@ -117,6 +119,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 		if r.InterpEnabled {
 			fmt.Fprintf(stdout, "benchtab: interp: threaded dispatch %.2fx over switch, measured tier penalty %.2fx, identity pass\n",
 				r.InterpSpeedup, r.MeasuredPenalty)
+		}
+		if r.PeepEnabled {
+			fmt.Fprintf(stdout, "benchtab: peep: %d rewrites, cycle gain %.4fx, identity pass\n",
+				r.TotalRewrites, r.PeepCycleGain)
 		}
 		return 0
 	}
@@ -180,7 +186,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 			Parallelism: *parallel, Repeats: *repeats,
 			Cache: *useCache, CacheBytes: *cacheMB << 20,
 			Tiered: *useTiered, TieredInvocations: *invocations, HotThreshold: *hotThreshold,
-			Interp: *interpbench,
+			Interp: *interpbench, Peep: *usePeep,
 		})
 		if err != nil {
 			fmt.Fprintln(stderr, "benchtab:", err)
@@ -209,6 +215,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 		if r.InterpEnabled {
 			fmt.Fprintf(stderr, "benchtab: interp: threaded dispatch %.2fx over switch, measured tier penalty %.2fx, identity pass\n",
 				r.InterpSpeedup, r.MeasuredPenalty)
+		}
+		if r.PeepEnabled {
+			fmt.Fprintf(stderr, "benchtab: peep: %d rewrites, cycle gain %.4fx, identity pass\n",
+				r.TotalRewrites, r.PeepCycleGain)
 		}
 		return 0
 	}

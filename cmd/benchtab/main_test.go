@@ -34,6 +34,31 @@ func TestValidateGoldenOK(t *testing.T) {
 	}
 }
 
+// TestValidateGoldenPeep pins the -validate summary of a peep-enabled
+// artifact: the rewrite total, cycle gain and identity line.
+func TestValidateGoldenPeep(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-validate", "testdata/valid_peep.json"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("exit code %d\nstderr: %s", code, stderr.String())
+	}
+	if stderr.Len() != 0 {
+		t.Errorf("unexpected stderr: %s", stderr.String())
+	}
+	path := filepath.Join("testdata", "validate_peep.golden")
+	if *update {
+		if err := os.WriteFile(path, stdout.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (run with -update to create it)", err)
+	}
+	if stdout.String() != string(want) {
+		t.Errorf("output differs from %s\n--- got ---\n%s--- want ---\n%s", path, stdout.String(), want)
+	}
+}
+
 // TestValidateRejectsCorruption pins the contract satellite 4 asks for: every
 // corruption class exits 1 with a single one-line "benchtab:" diagnostic on
 // stderr and nothing on stdout.
@@ -46,6 +71,7 @@ func TestValidateRejectsCorruption(t *testing.T) {
 		{"bad_totals.json", "do not match workload sums"},
 		{"bad_identical.json", "NOT identical"},
 		{"bad_speedup.json", "aggregate speedup"},
+		{"bad_peep_regression.json", "REGRESSED cycles"},
 		{"malformed.json", "bad JSON"},
 		{"no-such-artifact.json", "no such file"},
 	}

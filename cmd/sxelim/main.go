@@ -8,6 +8,8 @@
 //	sxelim -dump prog.mj                # print the optimized IR
 //	sxelim -asm prog.mj                 # print the lowered machine code
 //	sxelim -check prog.mj               # guarded pipeline + differential oracle
+//	sxelim -peep prog.mj                # rule-table peephole pass after extelim
+//	sxelim -peep -peep-rules div-magic,shl-shl prog.mj   # restrict the rule table
 //	sxelim -compare prog.mj             # dynamic counts under all variants
 //	sxelim -cache -cache-mb 128 prog.mj # content-addressed compile cache
 //	sxelim -tiered prog.mj              # tiered runtime: interp tier + hot promotion
@@ -94,6 +96,8 @@ func runMain(args []string, stdout, stderr io.Writer) error {
 	profile := flag.Bool("profile", true, "use interpreter branch profiles for order determination")
 	check := flag.Bool("check", false, "guarded pipeline: verify IR at phase boundaries and run the differential oracle")
 	budget := flag.Int("budget", 0, "per-function elimination work budget (0 = unlimited)")
+	peep := flag.Bool("peep", false, "run the rule-table peephole pass after the sign extension phase")
+	peepRules := flag.String("peep-rules", "", "comma-separated peephole rule names to enable (with -peep; empty = all)")
 	parallel := flag.Int("parallel", 0, "compile-driver worker count (0 = all CPUs, 1 = sequential)")
 	useCache := flag.Bool("cache", false, "serve per-function compilations from a content-addressed compile cache")
 	cacheMB := flag.Int64("cache-mb", 64, "compile cache capacity in MiB (with -cache)")
@@ -111,6 +115,15 @@ func runMain(args []string, stdout, stderr io.Writer) error {
 	}
 	if *tiered && *compare {
 		return usageError("-tiered and -compare are mutually exclusive")
+	}
+	var ruleFilter []string
+	if *peepRules != "" {
+		for _, name := range strings.Split(*peepRules, ",") {
+			ruleFilter = append(ruleFilter, strings.TrimSpace(name))
+		}
+		if err := signext.ValidatePeepRules(ruleFilter); err != nil {
+			return usageError(err.Error())
+		}
 	}
 	srcBytes, err := os.ReadFile(flag.Arg(0))
 	if err != nil {
@@ -145,6 +158,8 @@ func runMain(args []string, stdout, stderr io.Writer) error {
 		o.Checked = o.Checked || *check
 		o.CheckedRun = o.CheckedRun || *check
 		o.ElimBudget = *budget
+		o.Peep = *peep
+		o.PeepRules = ruleFilter
 		o.Parallelism = *parallel
 		o.Cache = cache
 		o.Profile = seed // nil without -profile-in
@@ -205,6 +220,7 @@ func runMain(args []string, stdout, stderr io.Writer) error {
 				Variant: v, Machine: mach,
 				Checked: *check, CheckedRun: *check,
 				ElimBudget: *budget, Parallelism: *parallel, Cache: cache,
+				Peep: *peep, PeepRules: ruleFilter,
 			},
 			Invocations:  *invocations,
 			HotThreshold: *hotThreshold,
@@ -292,6 +308,9 @@ func runMain(args []string, stdout, stderr io.Writer) error {
 	}
 	fmt.Fprintf(stdout, "variant %s, machine %s: %d extensions eliminated, %d inserted, %d remain\n",
 		v, mach, res.Eliminated(), res.Inserted(), res.StaticExts())
+	if *peep {
+		fmt.Fprintf(stdout, "peep: %d rule-table rewrites\n", res.PeepRewrites())
+	}
 	printCacheStats(stderr, cache)
 	if *check {
 		fmt.Fprintln(stdout, "oracle: optimized output and extension counts check out against the baseline reference")

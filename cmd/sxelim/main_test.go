@@ -58,6 +58,19 @@ func TestGoldenIRInput(t *testing.T) {
 	runGolden(t, "ext_run.golden", "-check", "-parallel", "1", "testdata/ext.ir")
 }
 
+func TestGoldenPeep(t *testing.T) {
+	// The peephole pass over a fixture with one site per rule family: the
+	// rewrite count and the program output are both pinned, so a rule that
+	// silently stops firing (or fires and changes a result) breaks the
+	// golden.
+	runGolden(t, "peep_run.golden", "-peep", "-parallel", "1", "testdata/peep.ir")
+}
+
+func TestGoldenPeepRulesFilter(t *testing.T) {
+	// A single-rule filter: only div-magic may fire on the same fixture.
+	runGolden(t, "peep_rules.golden", "-peep", "-peep-rules", "div-magic", "-parallel", "1", "testdata/peep.ir")
+}
+
 func TestExitCodes(t *testing.T) {
 	cases := []struct {
 		name string
@@ -70,6 +83,7 @@ func TestExitCodes(t *testing.T) {
 		{"unknown flag", []string{"-frobnicate"}, 2, ""},
 		{"missing file", []string{"testdata/no-such-file.mj"}, 1, "no such file"},
 		{"bad source", []string{"testdata/bad.mj"}, 1, "sxelim:"},
+		{"unknown peep rule", []string{"-peep", "-peep-rules", "no-such-rule", "testdata/peep.ir"}, 2, "no-such-rule"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

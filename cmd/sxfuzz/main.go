@@ -11,6 +11,8 @@
 //	sxfuzz -seed 1 -count 500 -tiered           # add the profile-identity property
 //	sxfuzz -seed 1 -count 200 -serve            # add the serve-identity property
 //	sxfuzz -seed 1 -count 500 -dispatch         # force dispatch-identity on every program
+//	sxfuzz -seed 1 -count 500 -peep             # add the peep-identity property
+//	sxfuzz -seed 1 -count 100 -peep -corpus internal/difftest/testdata/peep  # seed with the directed rule corpus
 package main
 
 import (
@@ -47,6 +49,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		tiered   = fs.Bool("tiered", false, "add the profile-identity property to the metamorphic set (tiered execution must be bit-identical to one-shot compilation fed the gathered profile)")
 		srv      = fs.Bool("serve", false, "add the serve-identity property to the metamorphic set (compile-daemon answers must match direct compiles, healthy and degraded)")
 		dispatch = fs.Bool("dispatch", false, "check dispatch identity (threaded bytecode vs reference walker) on every program, not just the metamorphic sample")
+		peep     = fs.Bool("peep", false, "add the peep-identity property to every program (rule-table peephole builds must match the reference output under both dispatchers)")
+		corpus   = fs.String("corpus", "", "replay every .ir entry in this directory (directed corpus) before the generated programs")
 		verbose  = fs.Bool("v", false, "log campaign progress to stderr")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -67,11 +71,13 @@ func run(args []string, stdout, stderr io.Writer) int {
 		Minimize:    *minimize,
 		MaxRepros:   *repros,
 		OutDir:      *out,
+		Corpus:      *corpus,
 	}
 	cfg.Check.Cache = *cache
 	cfg.Check.Tiered = *tiered
 	cfg.Check.Serve = *srv
 	cfg.Check.Dispatch = *dispatch
+	cfg.Check.Peep = *peep
 	switch *kind {
 	case "":
 	case "mj", "ir":

@@ -44,6 +44,12 @@ type CompileBenchOptions struct {
 	TieredInvocations int   // invocations per workload; 0 = 4
 	HotThreshold      int64 // promotion threshold; 0 = tiered.DefaultHotThreshold
 
+	// Peep adds a peephole pass per workload: the program is recompiled with
+	// the rule-table peephole pass (internal/peep) enabled and both builds
+	// run under the deterministic cycle model, recording the rewrite count,
+	// the cycle delta and an output-identity check.
+	Peep bool
+
 	// Interp adds an interpreter microbenchmark pass per workload: the
 	// program runs under both dispatch engines in the profiling-tier
 	// configuration (switch-dispatch tree walker vs token-threaded
@@ -106,6 +112,18 @@ type CompileBenchWorkload struct {
 	InterpCompiledNS int64   `json:"interp_compiled_ns,omitempty"` // compiled tier (optimized prog, Mode64), threaded
 	InterpIdentical  bool    `json:"interp_identical,omitempty"`   // threaded results bit-identical to switch
 	MeasuredPenalty  float64 `json:"measured_penalty,omitempty"`   // (switch ns/cycle) / (compiled ns/cycle)
+
+	// Peephole pass (present only when CompileBenchOptions.Peep is set): the
+	// same workload recompiled with the rule-table peephole pass enabled,
+	// with both builds executed under the deterministic cycle model. The
+	// peeped build must print the same output and must never cost more
+	// modelled cycles — a pessimizing rule breaks Validate, not just a
+	// benchmark number.
+	PeepWallNS    int64 `json:"peep_wall_ns,omitempty"`   // compile wall with -peep, min over repeats
+	PeepRewrites  int   `json:"peep_rewrites,omitempty"`  // rule-table rewrites applied
+	BaseCycles    int64 `json:"base_cycles,omitempty"`    // modelled cycles without the pass
+	PeepCycles    int64 `json:"peep_cycles,omitempty"`    // modelled cycles with the pass
+	PeepIdentical bool  `json:"peep_identical,omitempty"` // outputs bit-identical
 }
 
 // CompileBenchResult is the BENCH_compile.json artifact: the compile-driver
@@ -143,6 +161,13 @@ type CompileBenchResult struct {
 	TotalInterpThNS int64   `json:"total_interp_threaded_ns,omitempty"`
 	InterpSpeedup   float64 `json:"interp_speedup,omitempty"`   // sum switch walls / sum threaded walls
 	MeasuredPenalty float64 `json:"measured_penalty,omitempty"` // suite-wide (switch ns/cycle) / (compiled ns/cycle)
+
+	// Peephole aggregates (present only when the peep pass was enabled).
+	PeepEnabled     bool    `json:"peep_enabled,omitempty"`
+	TotalRewrites   int     `json:"total_peep_rewrites,omitempty"`
+	TotalBaseCycles int64   `json:"total_base_cycles,omitempty"`
+	TotalPeepCycles int64   `json:"total_peep_cycles,omitempty"`
+	PeepCycleGain   float64 `json:"peep_cycle_gain,omitempty"` // sum base cycles / sum peeped cycles
 }
 
 // compileFingerprint captures everything that must not depend on the worker
@@ -152,14 +177,14 @@ func compileFingerprint(res *jit.Result) string {
 	for _, fn := range res.Prog.Funcs {
 		b.WriteString(fn.Format())
 	}
-	fmt.Fprintf(&b, "stats=%+v static=%d\n", res.Stats, res.StaticExts)
+	fmt.Fprintf(&b, "stats=%+v static=%d rewrites=%d\n", res.Stats, res.StaticExts, res.PeepRewrites)
 	for _, r := range res.Telemetry {
 		if r.Phase == jit.PhaseCache {
 			// Warm compiles add a lookup-cost record per function; it carries
 			// no correctness content and must not break warm/cold identity.
 			continue
 		}
-		fmt.Fprintf(&b, "tel %s %s %d %d %d %v\n", r.Func, r.Phase, r.Eliminated, r.Inserted, r.Dummies, r.Fallback)
+		fmt.Fprintf(&b, "tel %s %s %d %d %d %d %v\n", r.Func, r.Phase, r.Eliminated, r.Inserted, r.Dummies, r.Rewrites, r.Fallback)
 	}
 	for _, fb := range res.Fallbacks {
 		fmt.Fprintf(&b, "fb %s %s\n", fb.Phase, fb.Func)
@@ -213,6 +238,7 @@ func CompileBench(ws []workloads.Workload, o CompileBenchOptions) (*CompileBench
 		res.TieredInvocations = tieredInv
 	}
 	res.InterpEnabled = o.Interp
+	res.PeepEnabled = o.Peep
 	var sumColdCycles, sumSteadyCycles int64
 	var sumInterpCyc32, sumInterpCyc64, sumInterpCompNS int64
 	for _, w := range ws {
@@ -305,6 +331,35 @@ func CompileBench(ws []workloads.Workload, o CompileBenchOptions) (*CompileBench
 			agg.Entries += s.Entries
 			agg.Bytes += s.Bytes
 			agg.CapacityBytes = s.CapacityBytes
+		}
+		if o.Peep {
+			jo.Peep = true
+			peeped, peepWall, err := leg(par)
+			jo.Peep = false
+			if err != nil {
+				return nil, fmt.Errorf("%s: peep compile: %w", w.Name, err)
+			}
+			cost := target.CostModel(o.Machine)
+			baseRun, err := interp.Run(pr.Prog, "main", interp.Options{
+				Mode: interp.Mode64, Machine: o.Machine, Cost: cost,
+			})
+			if err != nil {
+				return nil, fmt.Errorf("%s: base run: %w", w.Name, err)
+			}
+			peepRun, err := interp.Run(peeped.Prog, "main", interp.Options{
+				Mode: interp.Mode64, Machine: o.Machine, Cost: cost,
+			})
+			if err != nil {
+				return nil, fmt.Errorf("%s: peeped run: %w", w.Name, err)
+			}
+			wl.PeepWallNS = int64(peepWall)
+			wl.PeepRewrites = peeped.PeepRewrites
+			wl.BaseCycles = baseRun.Cycles
+			wl.PeepCycles = peepRun.Cycles
+			wl.PeepIdentical = baseRun.Output == peepRun.Output
+			res.TotalRewrites += wl.PeepRewrites
+			res.TotalBaseCycles += wl.BaseCycles
+			res.TotalPeepCycles += wl.PeepCycles
 		}
 		var measuredPenalty float64
 		if o.Interp {
@@ -420,6 +475,9 @@ func CompileBench(ws []workloads.Workload, o CompileBenchOptions) (*CompileBench
 	}
 	if o.Tiered && sumSteadyCycles > 0 {
 		res.TierSpeedup = float64(sumColdCycles) / float64(sumSteadyCycles)
+	}
+	if o.Peep && res.TotalPeepCycles > 0 {
+		res.PeepCycleGain = float64(res.TotalBaseCycles) / float64(res.TotalPeepCycles)
 	}
 	if o.Interp {
 		if res.TotalInterpThNS > 0 {
@@ -545,6 +603,22 @@ func (r *CompileBenchResult) Validate() error {
 					w.Name, w.TierSpeedup, w.TierColdCycles, w.TierSteadyCycles)
 			}
 		}
+		if r.PeepEnabled {
+			if !w.PeepIdentical {
+				return fmt.Errorf("compilebench: %s: peeped build output NOT identical to base", w.Name)
+			}
+			if w.PeepWallNS <= 0 {
+				return fmt.Errorf("compilebench: %s: missing peep compile wall", w.Name)
+			}
+			if w.BaseCycles <= 0 || w.PeepCycles <= 0 {
+				return fmt.Errorf("compilebench: %s: missing peep cycle record (base=%d peep=%d)",
+					w.Name, w.BaseCycles, w.PeepCycles)
+			}
+			if w.PeepCycles > w.BaseCycles {
+				return fmt.Errorf("compilebench: %s: peephole pass REGRESSED cycles (%d > %d)",
+					w.Name, w.PeepCycles, w.BaseCycles)
+			}
+		}
 		if r.InterpEnabled {
 			if !w.InterpIdentical {
 				return fmt.Errorf("compilebench: %s: threaded dispatch NOT identical to switch dispatch", w.Name)
@@ -620,6 +694,26 @@ func (r *CompileBenchResult) Validate() error {
 		if !speedupConsistent(r.TierSpeedup, sumCold, sumSteady) {
 			return fmt.Errorf("compilebench: tiered speedup %.4f inconsistent with cycle sums %d/%d",
 				r.TierSpeedup, sumCold, sumSteady)
+		}
+	}
+	if r.PeepEnabled {
+		var sumRw int
+		var sumBase, sumPeep int64
+		for _, w := range r.Workloads {
+			sumRw += w.PeepRewrites
+			sumBase += w.BaseCycles
+			sumPeep += w.PeepCycles
+		}
+		if sumRw != r.TotalRewrites || sumBase != r.TotalBaseCycles || sumPeep != r.TotalPeepCycles {
+			return fmt.Errorf("compilebench: peep totals %d/%d/%d do not match workload sums %d/%d/%d",
+				r.TotalRewrites, r.TotalBaseCycles, r.TotalPeepCycles, sumRw, sumBase, sumPeep)
+		}
+		if r.TotalRewrites < 1 {
+			return fmt.Errorf("compilebench: peep pass enabled but no rule ever fired across the suite")
+		}
+		if !speedupConsistent(r.PeepCycleGain, r.TotalBaseCycles, r.TotalPeepCycles) {
+			return fmt.Errorf("compilebench: peep cycle gain %.4f inconsistent with totals %d/%d",
+				r.PeepCycleGain, r.TotalBaseCycles, r.TotalPeepCycles)
 		}
 	}
 	if r.InterpEnabled {

@@ -6,6 +6,7 @@ import (
 
 	"signext/internal/ir"
 	"signext/internal/jit"
+	"signext/internal/workloads"
 )
 
 func TestCompileBenchArtifact(t *testing.T) {
@@ -224,5 +225,84 @@ func TestCompileBenchValidateCatchesCorruption(t *testing.T) {
 	}
 	if _, err := ValidateCompileBenchJSON([]byte("{not json")); err == nil {
 		t.Fatal("validation must fail on malformed JSON")
+	}
+}
+
+// peepSuite is a workload whose inner loop carries the patterns the rule
+// table targets: division and remainder by constants plus a power-of-two
+// multiply, all on a loop counter the range analysis can bound.
+func peepSuite() []workloads.Workload {
+	return []workloads.Workload{
+		{Name: "peep-div", Suite: "test", Source: `
+			void main() {
+				int s = 0;
+				for (int i = 0; i < 1000; i++) {
+					s += i / 7 + i / 8 + i % 16 + i * 4;
+				}
+				print(s);
+			}`},
+	}
+}
+
+func TestCompileBenchPeep(t *testing.T) {
+	for _, mach := range []ir.Machine{ir.IA64, ir.PPC64} {
+		res, err := CompileBench(peepSuite(), CompileBenchOptions{
+			Machine: mach, UseProfile: true, Parallelism: 2, Repeats: 1, Peep: true,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := res.Validate(); err != nil {
+			t.Fatalf("%v: peep result does not validate: %v", mach, err)
+		}
+		if !res.PeepEnabled || res.TotalRewrites < 1 {
+			t.Fatalf("%v: peep pass recorded no rewrites: %+v", mach, res)
+		}
+		for _, w := range res.Workloads {
+			if !w.PeepIdentical {
+				t.Fatalf("%v: %s: peeped output diverged from base", mach, w.Name)
+			}
+			if w.PeepCycles > w.BaseCycles {
+				t.Fatalf("%v: %s: peephole pass regressed cycles (%d > %d)",
+					mach, w.Name, w.PeepCycles, w.BaseCycles)
+			}
+			if w.PeepCycles >= w.BaseCycles {
+				t.Errorf("%v: %s: expected a strict cycle win on the division loop (base=%d peep=%d)",
+					mach, w.Name, w.BaseCycles, w.PeepCycles)
+			}
+		}
+
+		// The artifact survives the JSON round trip with the peep fields intact.
+		blob, err := json.Marshal(res)
+		if err != nil {
+			t.Fatal(err)
+		}
+		back, err := ValidateCompileBenchJSON(blob)
+		if err != nil {
+			t.Fatalf("round-tripped peep artifact rejected: %v", err)
+		}
+		if back.TotalRewrites != res.TotalRewrites || back.PeepCycleGain != res.PeepCycleGain {
+			t.Fatalf("round trip lost peep data: %+v vs %+v", back, res)
+		}
+
+		// Peep-specific corruption is caught by Validate.
+		bad := *res
+		bad.Workloads = append([]CompileBenchWorkload(nil), res.Workloads...)
+		bad.Workloads[0].PeepIdentical = false
+		if bad.Validate() == nil {
+			t.Fatal("validation must fail on a non-identical peeped build")
+		}
+		bad = *res
+		bad.Workloads = append([]CompileBenchWorkload(nil), res.Workloads...)
+		bad.Workloads[0].PeepCycles = bad.Workloads[0].BaseCycles + 1
+		bad.TotalPeepCycles += bad.Workloads[0].BaseCycles + 1 - res.Workloads[0].PeepCycles
+		if bad.Validate() == nil {
+			t.Fatal("validation must fail on a cycle-regressing peephole pass")
+		}
+		bad = *res
+		bad.TotalRewrites++
+		if bad.Validate() == nil {
+			t.Fatal("validation must fail when rewrite totals do not match workload sums")
+		}
 	}
 }

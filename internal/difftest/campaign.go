@@ -39,6 +39,12 @@ type CampaignConfig struct {
 	// miscompile. A campaign that catches nothing proves the engine blind.
 	Chaos bool
 
+	// Corpus, when set, replays every .ir reproducer/corpus entry in the
+	// directory before the generated programs — directed seeds (such as the
+	// generated peephole-rule corpus) run first so a short smoke budget
+	// still covers every rule.
+	Corpus string
+
 	Minimize  bool   // shrink failures and write reproducers
 	MaxRepros int    // reproducers to emit (default 3)
 	OutDir    string // reproducer directory (default internal/difftest/testdata)
@@ -108,6 +114,11 @@ func Campaign(cfg CampaignConfig) (*CampaignResult, error) {
 
 	res := &CampaignResult{Seed: cfg.Seed}
 	var findings []finding
+	if cfg.Corpus != "" {
+		if err := replayCorpus(cfg, res); err != nil {
+			return res, err
+		}
+	}
 	var mu sync.Mutex
 	idxCh := make(chan int)
 	var wg sync.WaitGroup
@@ -197,6 +208,57 @@ feed:
 	res.ElapsedMS = time.Since(start).Milliseconds()
 	res.OK = res.Failures == 0 && (!cfg.Chaos || res.Caught >= 1)
 	return res, nil
+}
+
+// replayCorpus runs every directed corpus entry under Corpus through the
+// property its "; prop:" header names (plus the campaign's configured set),
+// focused on the "; rule:" it targets when one is named. Entries count as
+// programs; a failing entry fails the campaign like any generated program.
+func replayCorpus(cfg CampaignConfig, res *CampaignResult) error {
+	paths, err := filepath.Glob(filepath.Join(cfg.Corpus, "*.ir"))
+	if err != nil {
+		return err
+	}
+	sort.Strings(paths)
+	for _, path := range paths {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		r, err := ParseRepro(data)
+		if err != nil {
+			return fmt.Errorf("corpus %s: %w", path, err)
+		}
+		c := cfg.Check
+		switch r.Prop {
+		case "peep-identity":
+			c.Peep = true
+			if r.Rule != "" {
+				c.PeepRules = []string{r.Rule}
+			}
+		case "cache-identity":
+			c.Cache = true
+		case "profile-identity":
+			c.Tiered = true
+		case "dispatch-identity":
+			c.Dispatch = true
+		}
+		res.Programs++
+		fails, skipped := Check(&Program{Kind: r.Kind, Seed: r.Seed, Prog: r.Prog}, c)
+		if skipped {
+			res.Skipped++
+		}
+		for _, f := range fails {
+			res.Failures++
+			res.FailureDetails = append(res.FailureDetails,
+				fmt.Sprintf("corpus %s: %s", filepath.Base(path), f))
+		}
+	}
+	if cfg.Log != nil && len(paths) > 0 {
+		fmt.Fprintf(cfg.Log, "sxfuzz: replayed %d corpus entries, %d failures\n",
+			len(paths), res.Failures)
+	}
+	return nil
 }
 
 // minimizeFindings shrinks the first MaxRepros findings (one per distinct
@@ -362,6 +424,10 @@ func propPredicate(prop string, mach ir.Machine, c Config) Predicate {
 		// explicit opt-in so replay skips the unrelated heavy properties.
 		c.OracleOnly = true
 		c.Dispatch = true
+	case "peep-identity":
+		// Same shape as dispatch-identity: cheap opt-in, oracle-only replay.
+		c.OracleOnly = true
+		c.Peep = true
 	default:
 		c.OracleOnly = true
 	}

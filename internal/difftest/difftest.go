@@ -118,6 +118,19 @@ type Config struct {
 	// property also runs as part of the default heavy set.
 	Dispatch bool
 
+	// Peep adds the peep-identity property: a build with the rule-table
+	// peephole pass enabled must reproduce the reference build's output and
+	// trap behaviour exactly, under both interpreter dispatchers. Only
+	// observable behaviour is compared — the shift-ext rule may legitimately
+	// materialize extension instructions, so dynamic extension counts are
+	// out of scope for this property (unlike the oracle's).
+	Peep bool
+
+	// PeepRules restricts the peep-identity property's pass to the named
+	// rules (nil = the whole table) — the focused mode for replaying a
+	// directed corpus entry against the one rule it targets.
+	PeepRules []string
+
 	// Serve adds the serve-identity property: the same program submitted to
 	// an in-process compile daemon (internal/serve) must produce the same
 	// static results and the same output/trap as the direct jit compile —
@@ -227,6 +240,15 @@ func Check(p *Program, cfg Config) (fails []Failure, skipped bool) {
 		if cfg.Dispatch || !cfg.OracleOnly {
 			if d := dispatchDetail(p.Prog, res.Prog, mach, cfg.MaxSteps); d != "" {
 				fail("dispatch-identity", mach, "%s", d)
+			}
+		}
+
+		// Peep identity: like dispatch identity, cheap enough to gate only on
+		// its opt-in, not on the heavy set, so directed corpus entries replay
+		// it in oracle-only campaigns.
+		if cfg.Peep {
+			if d := peepDetail(p.Prog, mach, rep.RefOutput, rep.RefErr, cfg); d != "" {
+				fail("peep-identity", mach, "%s", d)
 			}
 		}
 
@@ -483,6 +505,36 @@ func dispatchCompare(sw *interp.Result, swErr error, th *interp.Result, thErr er
 	return ""
 }
 
+// peepDetail compiles the program with the rule-table peephole pass enabled
+// and demands the reference build's observable behaviour: same trap, same
+// output, under both interpreter dispatchers. The pass must also never fall
+// back on valid input.
+func peepDetail(src *ir.Program, mach ir.Machine, refOut string, refErr error, cfg Config) string {
+	res, err := jit.Compile(src, jit.Options{
+		Variant: jit.All, Machine: mach, GeneralOpts: true,
+		Checked: true, Parallelism: 1,
+		Peep: true, PeepRules: cfg.PeepRules,
+	})
+	if err != nil {
+		return fmt.Sprintf("peep compile failed: %v", err)
+	}
+	for _, fb := range res.Fallbacks {
+		return fmt.Sprintf("peep pipeline fell back on valid input: %v", fb)
+	}
+	for _, d := range []interp.Dispatch{interp.DispatchSwitch, interp.DispatchThreaded} {
+		out, rerr := interp.Run(res.Prog, "main", interp.Options{
+			Mode: interp.Mode64, Machine: mach, MaxSteps: cfg.MaxSteps, Dispatch: d,
+		})
+		if (rerr != nil) != (refErr != nil) {
+			return fmt.Sprintf("dispatch %d trap mismatch: peeped %v, reference %v", d, rerr, refErr)
+		}
+		if rerr == nil && out.Output != refOut {
+			return fmt.Sprintf("dispatch %d output mismatch:\npeeped    %q\nreference %q", d, out.Output, refOut)
+		}
+	}
+	return ""
+}
+
 // loweringDetail cross-checks the machine-level extension cost against the
 // IR-level count. IA64 materializes exactly one sxt1/sxt2/sxt4 per OpExt;
 // PPC64 one extsb/extsh/extsw per OpExt plus one extsb per byte load (no
@@ -521,14 +573,14 @@ func fingerprint(res *jit.Result) string {
 	for _, fn := range res.Prog.Funcs {
 		b.WriteString(fn.Format())
 	}
-	fmt.Fprintf(&b, "stats=%+v static=%d\n", res.Stats, res.StaticExts)
+	fmt.Fprintf(&b, "stats=%+v static=%d rewrites=%d\n", res.Stats, res.StaticExts, res.PeepRewrites)
 	for _, r := range res.Telemetry {
 		if r.Phase == jit.PhaseCache {
 			// Warm compiles record a per-function lookup-cost entry; it is
 			// bookkeeping, not output, and must not break cache identity.
 			continue
 		}
-		fmt.Fprintf(&b, "tel %s %s %d %d %d %v\n", r.Func, r.Phase, r.Eliminated, r.Inserted, r.Dummies, r.Fallback)
+		fmt.Fprintf(&b, "tel %s %s %d %d %d %d %v\n", r.Func, r.Phase, r.Eliminated, r.Inserted, r.Dummies, r.Rewrites, r.Fallback)
 	}
 	for _, fb := range res.Fallbacks {
 		fmt.Fprintf(&b, "fb %s %s\n", fb.Phase, fb.Func)

@@ -19,6 +19,7 @@ type Repro struct {
 	Prop    string // failed property ("oracle", "fixpoint", ...; "chaos" = planted fault)
 	Machine ir.Machine
 	Chaos   int64  // fault-injector seed for prop "chaos"; 0 otherwise
+	Rule    string // peephole rule a directed corpus entry targets; "" otherwise
 	Detail  string // one-line description of the original failure
 	Prog    *ir.Program
 }
@@ -33,6 +34,9 @@ func (r *Repro) Marshal() []byte {
 	fmt.Fprintf(&b, "; machine: %v\n", r.Machine)
 	if r.Chaos != 0 {
 		fmt.Fprintf(&b, "; chaos: %d\n", r.Chaos)
+	}
+	if r.Rule != "" {
+		fmt.Fprintf(&b, "; rule: %s\n", r.Rule)
 	}
 	if r.Detail != "" {
 		fmt.Fprintf(&b, "; detail: %s\n", oneLine(r.Detail))
@@ -68,6 +72,8 @@ func ParseRepro(data []byte) (*Repro, error) {
 			}
 		case "chaos":
 			r.Chaos, _ = strconv.ParseInt(val, 10, 64)
+		case "rule":
+			r.Rule = val
 		case "detail":
 			r.Detail = val
 		}

@@ -38,6 +38,7 @@ type cachePayload struct {
 	records    []PhaseRecord
 	fallbacks  []*guard.PhaseError
 	staticExts int
+	rewrites   int
 }
 
 // cacheKey derives the content address of fn's compilation under o: the
@@ -46,7 +47,7 @@ type cachePayload struct {
 // outcome.
 func cacheKey(fn *ir.Func, o Options) codecache.Key {
 	w := codecache.NewKeyWriter()
-	w.String("sxelim-func-v1")
+	w.String("sxelim-func-v2")
 	fp := fn.Fingerprint()
 	w.Bytes(fp[:])
 	w.String(fn.Name)
@@ -57,6 +58,11 @@ func cacheKey(fn *ir.Func, o Options) codecache.Key {
 	w.Bool(o.Verify)
 	w.Bool(o.Checked)
 	w.Int64(int64(o.ElimBudget))
+	w.Bool(o.Peep)
+	w.Uint64(uint64(len(o.PeepRules)))
+	for _, r := range o.PeepRules {
+		w.String(r)
+	}
 	profileSignature(w, fn.Name, o.Profile)
 	return w.Key()
 }
@@ -122,6 +128,7 @@ func compileFuncCached(fn *ir.Func, o Options) funcOutcome {
 				fallbacks:  p.fallbacks,
 				replace:    clone,
 				staticExts: p.staticExts,
+				rewrites:   p.rewrites,
 				cacheHit:   true,
 			}
 			// Replay the cold compile's counter telemetry with zero walls —
@@ -163,6 +170,7 @@ func compileAndStore(fn *ir.Func, o Options, key codecache.Key) funcOutcome {
 		records:    append([]PhaseRecord(nil), out.records...),
 		fallbacks:  out.fallbacks,
 		staticExts: out.staticExts,
+		rewrites:   out.rewrites,
 	}
 	o.Cache.Put(key, p, payloadSize(p))
 	return out

@@ -31,6 +31,7 @@ import (
 	"signext/internal/interp"
 	"signext/internal/ir"
 	"signext/internal/opt"
+	"signext/internal/peep"
 	"signext/internal/target"
 )
 
@@ -125,6 +126,19 @@ type Options struct {
 	// fallback as a phase panic. 0 means unlimited.
 	ElimBudget int
 
+	// Peep enables the declarative rule-table peephole pass (internal/peep)
+	// after the sign extension phase. It consumes the same value-range facts
+	// the elimination phase proves — the upper-32-bits-zero facts in
+	// particular feed the magic-number division rules — and runs under the
+	// same guard: a panicking or verifier-rejected pass restores the
+	// pre-phase snapshot for that function only.
+	Peep bool
+
+	// PeepRules, when non-empty, restricts the peephole pass to the named
+	// table rules. Names must come from peep.RuleNames; validate user input
+	// with peep.ValidateRules before compiling. Nil means every rule.
+	PeepRules []string
+
 	// PhaseHook, if set, is called inside every guarded phase before its
 	// body runs, with the function about to be transformed (nil for the
 	// whole-program inlining phase). Tests use it to force deterministic
@@ -137,8 +151,8 @@ type Options struct {
 	// shared, concurrency-safe LRU. Entries are content-addressed on the
 	// function's structural fingerprint plus its name and every option that
 	// influences compilation (variant, machine, array bound, general-opts /
-	// verify / checked switches, elimination budget and the function's
-	// branch-profile signature). A hit installs a clone of the cached
+	// verify / checked switches, elimination budget, peephole switches and
+	// the function's branch-profile signature). A hit installs a clone of the cached
 	// optimized function and replays its statistics, counter telemetry
 	// (walls zeroed; one "cache" record carries the true lookup cost) and
 	// fallback records, so warm results are bit-identical to cold ones. A
@@ -205,6 +219,7 @@ const (
 	PhaseOpts     = "general opts"
 	PhaseGenUse   = "gen-use conversion"
 	PhaseSignExt  = "signext"
+	PhasePeep     = "peep"
 	PhaseChains   = "chains"
 	PhaseVerify   = "verify"
 	ProgramScope  = "<program>" // Func value for whole-program records
@@ -223,6 +238,7 @@ type PhaseRecord struct {
 	Eliminated int           `json:"eliminated,omitempty"`
 	Inserted   int           `json:"inserted,omitempty"`
 	Dummies    int           `json:"dummies,omitempty"`
+	Rewrites   int           `json:"rewrites,omitempty"`
 	Fallback   bool          `json:"fallback,omitempty"` // phase failed; snapshot restored
 }
 
@@ -233,6 +249,10 @@ type Result struct {
 	Stats      extelim.Stats // summed over functions
 	Timing     Timing
 	StaticExts int // extension instructions surviving in the code
+
+	// PeepRewrites counts rule-table rewrites applied by the peephole pass,
+	// summed over functions. Zero unless Options.Peep is set.
+	PeepRewrites int
 
 	// Telemetry holds one record per (function, phase) the pipeline ran,
 	// sorted by function name (ProgramScope first), then pipeline order.
@@ -267,6 +287,7 @@ type funcOutcome struct {
 	replace    *ir.Func // restored snapshot or cached clone to install into Prog, nil if untouched
 	fatal      error    // conversion or shallow-verifier failure: abort compile
 	staticExts int
+	rewrites   int // peephole rule-table rewrites applied
 
 	cacheHit      bool // served from Options.Cache
 	cacheRejected bool // cached entry failed paranoid verification; recompiled
@@ -472,6 +493,34 @@ func compileFunc(fn *ir.Func, o Options) funcOutcome {
 		return out
 	}
 
+	// The rule-table peephole pass runs last, on the extension-minimal code:
+	// it consumes the value-range facts the elimination phase worked to make
+	// provable (a dividend's upper 32 bits known zero is what licenses the
+	// magic-number division rules). Guarded like every optimizer phase — a
+	// panic or verifier rejection restores the snapshot and the function
+	// keeps its pre-peep code.
+	if o.Peep {
+		t0 := time.Now()
+		var st peep.Stats
+		kept := guarded(PhasePeep, func(f *ir.Func) error {
+			st = peep.Run(f, peep.Config{
+				Machine:     o.Machine,
+				MaxArrayLen: o.MaxArrayLen,
+				Rules:       o.PeepRules,
+			})
+			return nil
+		})
+		rec := PhaseRecord{Func: fn.Name, Phase: PhasePeep, Wall: time.Since(t0), Fallback: !kept}
+		if kept {
+			rec.Rewrites = st.Rewrites
+			out.rewrites += st.Rewrites
+		}
+		record(rec)
+		if !verify("peephole phase") {
+			return out
+		}
+	}
+
 	if verifyWall > 0 {
 		record(PhaseRecord{Func: fn.Name, Phase: PhaseVerify, Wall: verifyWall})
 	}
@@ -588,6 +637,7 @@ func Compile(src *ir.Program, o Options) (*Result, error) {
 		res.Telemetry = append(res.Telemetry, out.records...)
 		res.Fallbacks = append(res.Fallbacks, out.fallbacks...)
 		res.StaticExts += out.staticExts
+		res.PeepRewrites += out.rewrites
 		if out.degraded {
 			res.Degraded = append(res.Degraded, prog.Funcs[i].Name)
 		}

@@ -386,3 +386,9 @@ func licm(fn *ir.Func) int {
 	}
 	return n
 }
+
+// DCE removes pure instructions whose results are never observed and
+// returns the number removed. It is exported for passes (the peephole
+// rewriter) that orphan instructions and want the same cleanup the
+// optimizer applies between its own rounds.
+func DCE(fn *ir.Func) int { return dce(fn) }

@@ -1,0 +1,65 @@
+package peep
+
+import (
+	"testing"
+
+	"signext/internal/guard"
+	"signext/internal/ir"
+)
+
+// TestBrFoldRefusesStrandingDefs pins the fuzzer-found hazard: folding a
+// decided branch removes a CFG edge, and when the dead arm holds the only
+// definition of a register a still-reachable block reads, the fold would
+// leave the function statically malformed (a use with no reaching
+// definition). The fold must notice and decline, leaving the branch in
+// place and the function verifiable.
+func TestBrFoldRefusesStrandingDefs(t *testing.T) {
+	src := `
+globals 1
+
+func main() {
+	b0:
+	r0 = const 3
+	storeg.64 g0 r0
+	r1 = loadg.64 g0
+	r2 = const 15
+	r3 = and.64 r1 r2
+	r4 = const 16
+	br.32.ult r3 r4 -> b1, b2
+	b1:
+	jmp -> b3
+	b2:
+	r5 = const 99
+	jmp -> b3
+	b3:
+	print.32 r5
+	ret
+}
+`
+	prog, err := ir.ParseProgram(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fn := prog.Func("main")
+	if err := guard.VerifyFunc(fn, ir.IA64); err != nil {
+		t.Fatalf("test input must verify before the pass: %v", err)
+	}
+	st := Run(fn, Config{Machine: ir.IA64, Rules: []string{"br-fold"}})
+	if st.ByRule["br-fold"] != 0 {
+		t.Fatalf("fold must decline when it would strand r5's only definition, fired %d times", st.ByRule["br-fold"])
+	}
+	if err := guard.VerifyFunc(fn, ir.IA64); err != nil {
+		t.Fatalf("function no longer verifies after the declined fold: %v", err)
+	}
+	var brs int
+	for _, b := range fn.Blocks {
+		for _, ins := range b.Instrs {
+			if ins.Op == ir.OpBr {
+				brs++
+			}
+		}
+	}
+	if brs != 1 {
+		t.Fatalf("the branch must survive the declined fold, found %d", brs)
+	}
+}

@@ -1,0 +1,66 @@
+// Package peep is a peephole pass driven by one declarative rule table.
+// Each Rule carries a match pattern over the 64-bit-form IR, guard
+// predicates over value-range and width facts, and a replacement template.
+// The same table feeds three consumers: the table interpreter run inside the
+// guarded jit pipeline after the sign extension phase (Run), a generator of
+// one self-contained IR test program per rule (GenProgram), and directed
+// sxfuzz corpus entries (GenCorpusEntry) so every rule stays continuously
+// differential-tested. See DESIGN.md §13.
+package peep
+
+import "math/big"
+
+// Magic holds multiply-shift constants replacing a division by the constant
+// d: for every dividend x in [0, N], x/d == (x*M) >> S, with x*M free of
+// signed 64-bit overflow. This is the improved 32-bit unsigned-division
+// method (Mitsunari & Hoshino): instead of fixing the shift at 32 and
+// patching the error with adds, the smallest shift whose round-up multiplier
+// is exact over the proven dividend range is chosen, which the value-range
+// analysis supplies (the paper's upper-32-bits-zero facts).
+type Magic struct {
+	M int64 // round-up multiplier, floor(2^S/d) + 1
+	S uint  // shift amount
+}
+
+// FindMagic searches for the smallest shift S such that M = floor(2^S/d)+1
+// satisfies x/d == (x*M)>>S for all x in [0, n], and x*M stays below 2^63.
+// It requires d >= 2 and 0 <= n; ok is false when no such pair exists (for
+// example when n is so large that the multiply would overflow).
+//
+// Correctness: with e = M*d - 2^S (0 < e <= d), for x >= 0
+//
+//	x*M/2^S = x/d + e*x/(d*2^S)
+//
+// so floor(x*M/2^S) = floor(x/d) whenever the accumulated error
+// r/d + e*x/(d*2^S) stays below 1 for r = x mod d <= d-1; the round-up
+// condition e*n < 2^S is sufficient for every x <= n. The checks run in
+// math/big so no intermediate overflows can forge a witness.
+func FindMagic(d, n int64) (Magic, bool) {
+	if d < 2 || n < 0 {
+		return Magic{}, false
+	}
+	bigD := big.NewInt(d)
+	bigN := big.NewInt(n)
+	maxM := new(big.Int).Lsh(big.NewInt(1), 63) // M itself must fit int64
+	maxMN := new(big.Int).Lsh(big.NewInt(1), 63)
+	for s := uint(1); s <= 62; s++ {
+		pow := new(big.Int).Lsh(big.NewInt(1), s)
+		m := new(big.Int).Div(pow, bigD)
+		m.Add(m, big.NewInt(1))
+		e := new(big.Int).Mul(m, bigD)
+		e.Sub(e, pow) // e in (0, d]
+		// Exactness: e*n < 2^s.
+		en := new(big.Int).Mul(e, bigN)
+		if en.Cmp(pow) >= 0 {
+			continue
+		}
+		// No signed-64 overflow in the rewritten multiply: M*n < 2^63.
+		mn := new(big.Int).Mul(m, bigN)
+		if m.Cmp(maxM) >= 0 || mn.Cmp(maxMN) >= 0 {
+			// Larger s only grows M; nothing further can work.
+			return Magic{}, false
+		}
+		return Magic{M: m.Int64(), S: s}, true
+	}
+	return Magic{}, false
+}

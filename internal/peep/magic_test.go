@@ -1,0 +1,69 @@
+package peep
+
+import (
+	"math"
+	"testing"
+)
+
+// TestFindMagicExhaustive checks every divisor up to 50 against dense small
+// dividends and the extreme of each claimed range: (x*M)>>S must equal x/d
+// and the product must stay below 2^63 (no signed overflow in the rewritten
+// mul.64).
+func TestFindMagicExhaustive(t *testing.T) {
+	check := func(d, n, x int64, m Magic) {
+		t.Helper()
+		p := x * m.M
+		if x != 0 && p/x != m.M {
+			t.Fatalf("d=%d n=%d x=%d: x*M overflows int64 (M=%d)", d, n, x, m.M)
+		}
+		if got, want := int64(uint64(p)>>m.S), x/d; got != want {
+			t.Fatalf("d=%d n=%d x=%d: (x*%d)>>%d = %d, want %d", d, n, x, m.M, m.S, got, want)
+		}
+	}
+	for d := int64(2); d <= 50; d++ {
+		for _, n := range []int64{0, 1, d - 1, d, 100, 65535, math.MaxInt32} {
+			m, ok := FindMagic(d, n)
+			if !ok {
+				t.Fatalf("FindMagic(%d, %d) found nothing", d, n)
+			}
+			for x := int64(0); x <= n && x <= 300; x++ {
+				check(d, n, x, m)
+			}
+			// The top of the range is where round-up error accumulates.
+			for x := n - 300; x <= n; x++ {
+				if x >= 0 {
+					check(d, n, x, m)
+				}
+			}
+		}
+	}
+}
+
+// TestFindMagicPinned pins the d=3 constants over the full non-negative
+// int32 range: M = floor(2^31/3)+1 has round-up error e = 1, so e*N < 2^31
+// already holds at S = 31 — smaller than the classical fixed shift of 32,
+// which is exactly the improvement of choosing S per proven range.
+func TestFindMagicPinned(t *testing.T) {
+	m, ok := FindMagic(3, math.MaxInt32)
+	if !ok {
+		t.Fatal("no magic for d=3 over int32")
+	}
+	if m.M != 715827883 || m.S != 31 {
+		t.Fatalf("got M=%d S=%d, want M=715827883 S=31", m.M, m.S)
+	}
+}
+
+func TestFindMagicRejects(t *testing.T) {
+	cases := []struct{ d, n int64 }{
+		{1, 10},            // d too small
+		{0, 10},            // degenerate
+		{-3, 10},           // negative divisor
+		{3, -1},            // negative range
+		{3, math.MaxInt64}, // x*M cannot stay below 2^63
+	}
+	for _, c := range cases {
+		if _, ok := FindMagic(c.d, c.n); ok {
+			t.Errorf("FindMagic(%d, %d) unexpectedly succeeded", c.d, c.n)
+		}
+	}
+}

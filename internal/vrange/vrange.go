@@ -87,6 +87,14 @@ func max64(a, b int64) int64 {
 	return b
 }
 
+// shlExact returns v<<n and whether the shift is exact in int64 (round
+// trips without losing bits). Exact endpoint shifts make the whole interval
+// shift exact: |v·2^n| is bounded by a representable endpoint product.
+func shlExact(v int64, n uint) (int64, bool) {
+	s := v << n
+	return s, s>>n == v
+}
+
 // Analysis holds the fixpoint solution for one function.
 type Analysis struct {
 	fn     *ir.Func
@@ -580,10 +588,23 @@ func (a *Analysis) transfer(ins *ir.Instr) Range {
 		if x.IsBottom() || y.IsBottom() {
 			return Bottom()
 		}
-		if y.Lo == y.Hi && y.Lo >= 0 && y.Lo < int64(w) {
-			n := uint(y.Lo)
-			lo, hi := x.Lo<<n, x.Hi<<n
-			if lo>>n == x.Lo && hi>>n == x.Hi {
+		if y.Within(0, int64(w)-1) {
+			// Each endpoint shift is checked for int64 overflow by round
+			// trip; a result interval that can leave the W-bit signed range
+			// wraps at the width boundary, so only an in-range interval is
+			// usable.
+			lo, okLo := shlExact(x.Lo, uint(y.Lo))
+			hi, okHi := shlExact(x.Hi, uint(y.Hi))
+			if x.Lo < 0 {
+				// A negative lower bound moves further down as the shift
+				// grows.
+				lo, okLo = shlExact(x.Lo, uint(y.Hi))
+			}
+			if x.Hi < 0 {
+				// An all-negative range peaks at the smallest shift.
+				hi, okHi = shlExact(x.Hi, uint(y.Lo))
+			}
+			if okLo && okHi {
 				r := Range{lo, hi}
 				if r.Within(full.Lo, full.Hi) {
 					return r
@@ -592,14 +613,24 @@ func (a *Analysis) transfer(ins *ir.Instr) Range {
 		}
 		return full
 	case ir.OpLShr:
-		y := src(1)
-		if y.IsBottom() {
+		x, y := src(0), src(1)
+		if x.IsBottom() || y.IsBottom() {
 			return Bottom()
 		}
-		if w == ir.W64 {
-			return full
+		// A dividend with known-zero upper bits shifts like an unsigned
+		// quantity whose interval is exact: this is the fact the magic
+		// division rewrite both consumes (proving its operand range) and
+		// produces (its >>u S result is the quotient range).
+		if x.Within(0, full.Hi) && y.Within(0, int64(w)-1) {
+			return Range{x.Lo >> uint(y.Hi), x.Hi >> uint(y.Lo)}
 		}
 		if y.Within(1, int64(w)-1) {
+			// Any one-or-more-bit logical shift clears the sign bit: the
+			// result is bounded by the shifted all-ones pattern even when
+			// nothing is known about the value.
+			if w == ir.W64 {
+				return Range{0, int64(^uint64(0) >> uint(y.Lo))}
+			}
 			return Range{0, int64(w.Mask() >> uint(y.Lo))}
 		}
 		// A zero shift leaves the (possibly negative) low bits intact.

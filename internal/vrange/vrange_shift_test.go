@@ -1,0 +1,192 @@
+package vrange
+
+import (
+	"math"
+	"testing"
+
+	"signext/internal/ir"
+)
+
+// bounded materializes a runtime value the analysis can bound but not fold:
+// a full-width global load masked to [0, mask].
+func bounded(b *ir.Builder, mask int64) ir.Reg {
+	g := b.LoadG(ir.W64, 0)
+	return b.And(ir.W64, g, b.Const(ir.W64, mask))
+}
+
+// TestLShrKnownZeroUpper pins the fact chain the magic-number division
+// rewrite stands on: a logical shift of a value with known-zero upper bits
+// is the exact unsigned interval shift. Before the fix the 64-bit case
+// always widened to full and the narrow case ignored the dividend's range.
+func TestLShrKnownZeroUpper(t *testing.T) {
+	// (x in [0, 2^20-1]) >>u 4 at width 64.
+	r := analyze(t, ir.IA64, func(b *ir.Builder) *ir.Instr {
+		x := bounded(b, 0xfffff)
+		return b.OpTo(ir.OpLShr, ir.W64, b.Fn.NewReg(), x, b.Const(ir.W64, 4))
+	})
+	if want := (Range{0, 0xfffff >> 4}); r != want {
+		t.Errorf("lshr.64 of [0,0xfffff] by 4: got %v, want %v", r, want)
+	}
+	// Shift amount itself only known as a range [0, 7].
+	r = analyze(t, ir.IA64, func(b *ir.Builder) *ir.Instr {
+		x := bounded(b, 0xfffff)
+		y := b.And(ir.W64, b.LoadG(ir.W64, 1), b.Const(ir.W64, 7))
+		return b.OpTo(ir.OpLShr, ir.W64, b.Fn.NewReg(), x, y)
+	})
+	if want := (Range{0, 0xfffff}); r != want {
+		t.Errorf("lshr.64 of [0,0xfffff] by [0,7]: got %v, want %v", r, want)
+	}
+	// Narrow width uses the dividend's bound, not just the all-ones mask.
+	r = analyze(t, ir.IA64, func(b *ir.Builder) *ir.Instr {
+		x := bounded(b, 1000)
+		return b.OpTo(ir.OpLShr, ir.W32, b.Fn.NewReg(), x, b.Const(ir.W32, 2))
+	})
+	if want := (Range{0, 250}); r != want {
+		t.Errorf("lshr.32 of [0,1000] by 2: got %v, want %v", r, want)
+	}
+	// A zero shift of a known-non-negative value is the identity.
+	r = analyze(t, ir.IA64, func(b *ir.Builder) *ir.Instr {
+		x := bounded(b, 9)
+		return b.OpTo(ir.OpLShr, ir.W32, b.Fn.NewReg(), x, b.Const(ir.W32, 0))
+	})
+	if want := (Range{0, 9}); r != want {
+		t.Errorf("lshr.32 of [0,9] by 0: got %v, want %v", r, want)
+	}
+}
+
+// TestLShrUnknownValue: one-or-more-bit logical shifts clear the sign bit
+// even of a wholly unknown value; a zero shift of a possibly-negative value
+// must stay full (">>> 0" keeps the sign).
+func TestLShrUnknownValue(t *testing.T) {
+	r := analyze(t, ir.IA64, func(b *ir.Builder) *ir.Instr {
+		x := b.LoadG(ir.W64, 0)
+		return b.OpTo(ir.OpLShr, ir.W64, b.Fn.NewReg(), x, b.Const(ir.W64, 1))
+	})
+	if want := (Range{0, math.MaxInt64}); r != want {
+		t.Errorf("lshr.64 of unknown by 1: got %v, want %v", r, want)
+	}
+	if !contains(r, math.MaxInt64) {
+		t.Errorf("lshr.64 of unknown by 1 can reach MaxInt64 (x = -1); range %v excludes it", r)
+	}
+	r = analyze(t, ir.IA64, func(b *ir.Builder) *ir.Instr {
+		x := b.LoadG(ir.W64, 0)
+		return b.OpTo(ir.OpLShr, ir.W32, b.Fn.NewReg(), x, b.Const(ir.W32, 1))
+	})
+	if want := (Range{0, math.MaxInt32}); r != want {
+		t.Errorf("lshr.32 of unknown by 1: got %v, want %v", r, want)
+	}
+	// x >>> 0 of a possibly-negative value keeps the sign: must contain -1.
+	r = analyze(t, ir.IA64, func(b *ir.Builder) *ir.Instr {
+		x := b.LoadG(ir.W64, 0)
+		return b.OpTo(ir.OpLShr, ir.W32, b.Fn.NewReg(), x, b.Const(ir.W32, 0))
+	})
+	if !contains(r, -1) {
+		t.Errorf("lshr.32 of unknown by 0 keeps the sign; range %v excludes -1", r)
+	}
+}
+
+// TestShlBoundedAmount: a shift whose amount is only known as a range still
+// yields an exact interval when the endpoint shifts cannot overflow.
+// Before the fix any non-singleton amount widened to full.
+func TestShlBoundedAmount(t *testing.T) {
+	r := analyze(t, ir.IA64, func(b *ir.Builder) *ir.Instr {
+		x := bounded(b, 100)
+		y := b.And(ir.W64, b.LoadG(ir.W64, 1), b.Const(ir.W64, 3))
+		return b.OpTo(ir.OpShl, ir.W64, b.Fn.NewReg(), x, y)
+	})
+	if want := (Range{0, 800}); r != want {
+		t.Errorf("shl.64 of [0,100] by [0,3]: got %v, want %v", r, want)
+	}
+	// Negative values move down as the shift grows.
+	r = analyze(t, ir.IA64, func(b *ir.Builder) *ir.Instr {
+		x := b.Const(ir.W32, -5)
+		y := b.And(ir.W64, b.LoadG(ir.W64, 1), b.Const(ir.W64, 2))
+		return b.OpTo(ir.OpShl, ir.W32, b.Fn.NewReg(), x, y)
+	})
+	if want := (Range{-20, -5}); r != want {
+		t.Errorf("shl.32 of -5 by [0,2]: got %v, want %v", r, want)
+	}
+}
+
+// TestShlOverflowAtWidthBoundary: a shift that can leave the width's signed
+// range wraps, so the transfer must widen to full — never produce the
+// un-wrapped mathematical interval.
+func TestShlOverflowAtWidthBoundary(t *testing.T) {
+	// 2^30 << 1 wraps to MinInt32 at width 32.
+	r := analyze(t, ir.IA64, func(b *ir.Builder) *ir.Instr {
+		x := b.Const(ir.W32, 1<<30)
+		return b.OpTo(ir.OpShl, ir.W32, b.Fn.NewReg(), x, b.Const(ir.W32, 1))
+	})
+	if !contains(r, math.MinInt32) {
+		t.Errorf("shl.32 of 2^30 by 1 wraps to MinInt32; range %v excludes it", r)
+	}
+	// 2^62 << 2 wraps to 0 at width 64.
+	r = analyze(t, ir.IA64, func(b *ir.Builder) *ir.Instr {
+		x := b.Const(ir.W64, 1<<62)
+		return b.OpTo(ir.OpShl, ir.W64, b.Fn.NewReg(), x, b.Const(ir.W64, 2))
+	})
+	if !contains(r, 0) {
+		t.Errorf("shl.64 of 2^62 by 2 wraps to 0; range %v excludes it", r)
+	}
+	// MinInt64 << 1 wraps to 0: the int64 round-trip check must catch the
+	// endpoint, not just positive overflow.
+	r = analyze(t, ir.IA64, func(b *ir.Builder) *ir.Instr {
+		x := b.Const(ir.W64, math.MinInt64)
+		return b.OpTo(ir.OpShl, ir.W64, b.Fn.NewReg(), x, b.Const(ir.W64, 1))
+	})
+	if !contains(r, 0) {
+		t.Errorf("shl.64 of MinInt64 by 1 wraps to 0; range %v excludes it", r)
+	}
+	// Away from the boundary the shift is exact.
+	r = analyze(t, ir.IA64, func(b *ir.Builder) *ir.Instr {
+		x := b.Const(ir.W32, 3)
+		return b.OpTo(ir.OpShl, ir.W32, b.Fn.NewReg(), x, b.Const(ir.W32, 4))
+	})
+	if r != Const(48) {
+		t.Errorf("shl.32 of 3 by 4: got %v, want exactly 48", r)
+	}
+}
+
+// TestShiftTransferSoundnessSweep cross-checks the three shift transfers
+// against the interpreter's exact semantics over a dense operand sweep:
+// every runtime result must fall inside the computed range.
+func TestShiftTransferSoundnessSweep(t *testing.T) {
+	vals := []int64{-9, -1, 0, 1, 7, 100, 1000, math.MaxInt32, math.MinInt32}
+	shifts := []int64{0, 1, 4, 31}
+	for _, op := range []ir.Op{ir.OpShl, ir.OpLShr, ir.OpAShr} {
+		for _, w := range []ir.Width{ir.W32, ir.W64} {
+			for _, mask := range []int64{0xff, 0xffff} {
+				for _, n := range shifts {
+					if n >= int64(w) {
+						continue
+					}
+					r := analyze(t, ir.IA64, func(b *ir.Builder) *ir.Instr {
+						x := bounded(b, mask)
+						return b.OpTo(op, w, b.Fn.NewReg(), x, b.Const(ir.W64, n))
+					})
+					for _, v := range vals {
+						if v < 0 || v > mask {
+							continue
+						}
+						var sem int64
+						switch op {
+						case ir.OpShl:
+							sem = v << uint(n)
+						case ir.OpLShr:
+							sem = int64(uint64(v) >> uint(n))
+						case ir.OpAShr:
+							sem = v >> uint(n)
+						}
+						if w != ir.W64 {
+							sem = w.SignExt(sem)
+						}
+						if !contains(r, sem) {
+							t.Fatalf("%s.%d x=[0,%#x] n=%d: runtime value %d (x=%d) outside range %v",
+								op, w, mask, n, sem, v, r)
+						}
+					}
+				}
+			}
+		}
+	}
+}

@@ -21,6 +21,7 @@ import (
 	"signext/internal/ir"
 	"signext/internal/jit"
 	"signext/internal/minijava"
+	"signext/internal/peep"
 	"signext/internal/profile"
 	"signext/internal/target"
 	"signext/internal/tiered"
@@ -86,6 +87,16 @@ type Options struct {
 	// ElimBudget caps the elimination phase's per-function analysis work;
 	// exhaustion disables the phase for that function. 0 means unlimited.
 	ElimBudget int
+
+	// Peep enables the declarative rule-table peephole pass after the sign
+	// extension phase: magic-number division, shift recombination, decided
+	// branches, algebraic identities — each licensed by the value-range
+	// facts the elimination phase proves.
+	Peep bool
+
+	// PeepRules restricts the peephole pass to the named table rules (see
+	// RuleNames). Nil means every rule; unknown names fail compilation.
+	PeepRules []string
 
 	// Cache, when non-nil, serves per-function compilations from a shared
 	// content-addressed cache (see NewCache, NewShardedCache,
@@ -168,6 +179,10 @@ func (r *Result) Eliminated() int { return r.res.Stats.Eliminated }
 
 // Inserted returns how many extensions the insertion phase added.
 func (r *Result) Inserted() int { return r.res.Stats.Inserted }
+
+// PeepRewrites returns how many rule-table rewrites the peephole pass
+// applied (0 unless Options.Peep was set).
+func (r *Result) PeepRewrites() int { return r.res.PeepRewrites }
 
 // IR returns the compiled program for inspection.
 func (r *Result) IR() *ir.Program { return r.res.Prog }
@@ -277,13 +292,26 @@ func (o Options) jitOptions(p interp.Profile) jit.Options {
 		Parallelism: o.Parallelism,
 		Checked:     o.Checked || o.CheckedRun,
 		ElimBudget:  o.ElimBudget,
+		Peep:        o.Peep,
+		PeepRules:   o.PeepRules,
 		Cache:       o.Cache,
 	}
 }
 
+// PeepRuleNames lists the peephole rule table's rule names in table order —
+// the vocabulary Options.PeepRules accepts.
+func PeepRuleNames() []string { return peep.RuleNames() }
+
+// ValidatePeepRules checks a rule-name filter against the table, returning a
+// descriptive error for any unknown name.
+func ValidatePeepRules(names []string) error { return peep.ValidateRules(names) }
+
 // CompileProgram compiles an IR program (in 32-bit form) under the given
 // options. The input program is not modified.
 func CompileProgram(prog *ir.Program, o Options) (*Result, error) {
+	if err := peep.ValidateRules(o.PeepRules); err != nil {
+		return nil, err
+	}
 	var p interp.Profile
 	switch {
 	case o.Profile != nil:
